@@ -1,0 +1,17 @@
+//! The scheduling disciplines evaluated in the paper, plus baselines.
+
+mod exact_basrpt;
+mod fast_basrpt;
+mod fifo;
+mod maxweight;
+mod round_robin;
+mod srpt;
+mod threshold;
+
+pub use exact_basrpt::{ExactBasrpt, ExactBasrptError, PenaltyKind};
+pub use fast_basrpt::FastBasrpt;
+pub use fifo::Fifo;
+pub use maxweight::MaxWeight;
+pub use round_robin::RoundRobin;
+pub use srpt::Srpt;
+pub use threshold::ThresholdBacklogSrpt;

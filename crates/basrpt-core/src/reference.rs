@@ -1,0 +1,121 @@
+//! Literal reference implementations for differential testing.
+//!
+//! The production schedulers rank one candidate per non-empty VOQ (the
+//! VOQ's shortest flow) — an `O(Q log Q)` decision. The paper's
+//! Algorithm 1 as written instead sorts *every* active flow. The two are
+//! equivalent because all flows of a VOQ share the same backlog term, so
+//! the VOQ's shortest flow always precedes its siblings in the global
+//! order; this module provides the literal all-flows variant so tests can
+//! verify that equivalence (and benches can measure the saved work).
+
+use crate::{FlowTable, Schedule};
+use dcn_types::FlowId;
+
+/// The paper's Algorithm 1 verbatim: sort all active flows by
+/// `(V/N)·remaining − voq_backlog` (ties: smaller remaining, then smaller
+/// id) and admit greedily under the crossbar constraint.
+///
+/// # Panics
+///
+/// Panics if `v` is negative or not finite, or `num_ports` is zero.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::reference::fast_basrpt_all_flows;
+/// use basrpt_core::{FastBasrpt, FlowState, FlowTable, Scheduler};
+/// use dcn_types::{FlowId, HostId, Voq};
+///
+/// let mut t = FlowTable::new();
+/// t.insert(FlowState::new(FlowId::new(1), Voq::new(HostId::new(0), HostId::new(1)), 7))?;
+/// t.insert(FlowState::new(FlowId::new(2), Voq::new(HostId::new(2), HostId::new(1)), 3))?;
+/// let literal = fast_basrpt_all_flows(&t, 2500.0, 4);
+/// let optimized = FastBasrpt::new(2500.0, 4).schedule(&t);
+/// assert_eq!(
+///     literal.flow_ids().collect::<Vec<_>>(),
+///     optimized.flow_ids().collect::<Vec<_>>()
+/// );
+/// # Ok::<(), basrpt_core::FlowTableError>(())
+/// ```
+pub fn fast_basrpt_all_flows(table: &FlowTable, v: f64, num_ports: usize) -> Schedule {
+    assert!(v.is_finite() && v >= 0.0, "V must be finite and >= 0");
+    assert!(num_ports > 0, "fabric must have at least one port");
+    let w = v / num_ports as f64;
+    ranked_all_flows(table, |remaining, backlog| w * remaining - backlog)
+}
+
+/// Greedy maximal SRPT over all flows (the reference for [`crate::Srpt`]).
+pub fn srpt_all_flows(table: &FlowTable) -> Schedule {
+    ranked_all_flows(table, |remaining, _| remaining)
+}
+
+fn ranked_all_flows(table: &FlowTable, key: impl Fn(f64, f64) -> f64) -> Schedule {
+    let mut flows: Vec<(f64, u64, FlowId)> = table
+        .iter()
+        .map(|f| {
+            let backlog = table.voq_backlog(f.voq()) as f64;
+            (key(f.remaining() as f64, backlog), f.remaining(), f.id())
+        })
+        .collect();
+    flows.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut schedule = Schedule::new();
+    for (_, _, id) in flows {
+        let voq = table.get(id).expect("iterated flow").voq();
+        if schedule.admits(voq) {
+            schedule.add(id, voq).expect("admits() checked both ports");
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FastBasrpt, FlowState, Scheduler, Srpt};
+    use dcn_types::{HostId, Voq};
+
+    fn insert(t: &mut FlowTable, id: u64, src: u32, dst: u32, size: u64) {
+        t.insert(FlowState::new(
+            FlowId::new(id),
+            Voq::new(HostId::new(src), HostId::new(dst)),
+            size,
+        ))
+        .unwrap();
+    }
+
+    fn demo_table() -> FlowTable {
+        let mut t = FlowTable::new();
+        insert(&mut t, 1, 0, 1, 50);
+        insert(&mut t, 2, 0, 1, 5);
+        insert(&mut t, 3, 0, 2, 7);
+        insert(&mut t, 4, 1, 2, 7);
+        insert(&mut t, 5, 1, 2, 7);
+        insert(&mut t, 6, 2, 0, 1);
+        t
+    }
+
+    #[test]
+    fn literal_srpt_matches_optimized() {
+        let t = demo_table();
+        let literal: Vec<_> = srpt_all_flows(&t).flow_ids().collect();
+        let optimized: Vec<_> = Srpt::new().schedule(&t).flow_ids().collect();
+        assert_eq!(literal, optimized);
+    }
+
+    #[test]
+    fn literal_fast_basrpt_matches_optimized() {
+        let t = demo_table();
+        for v in [0.0, 1.0, 100.0, 2500.0] {
+            let literal: Vec<_> = fast_basrpt_all_flows(&t, v, 4).flow_ids().collect();
+            let optimized: Vec<_> = FastBasrpt::new(v, 4).schedule(&t).flow_ids().collect();
+            assert_eq!(literal, optimized, "V = {v}");
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = FlowTable::new();
+        assert!(srpt_all_flows(&t).is_empty());
+        assert!(fast_basrpt_all_flows(&t, 10.0, 4).is_empty());
+    }
+}

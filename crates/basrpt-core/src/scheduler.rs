@@ -1,0 +1,179 @@
+//! The scheduler interface and the shared greedy maximal-matching engine.
+
+use crate::{FlowTable, Schedule};
+use dcn_types::{FlowId, Voq};
+
+/// A flow scheduling discipline.
+///
+/// Schedulers are consulted by the embedding simulator on every flow arrival
+/// and completion (the paper's update rule) and return a crossbar matching
+/// over the currently active flows. They may keep internal state (e.g. the
+/// round-robin pointer), hence `&mut self`.
+pub trait Scheduler {
+    /// Short human-readable name, used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Computes the scheduling decision for the current set of active flows.
+    ///
+    /// The returned schedule must be *maximal*: no remaining flow could be
+    /// added without violating the crossbar constraint. All disciplines in
+    /// this crate satisfy that by construction.
+    fn schedule(&mut self, table: &FlowTable) -> Schedule;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule(&mut self, table: &FlowTable) -> Schedule {
+        (**self).schedule(table)
+    }
+}
+
+/// One schedulable flow with its discipline-specific priority key
+/// (smaller key = higher priority).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Priority key; must be finite so candidates are totally ordered.
+    pub key: f64,
+    /// The candidate flow.
+    pub flow: FlowId,
+    /// The VOQ the flow occupies.
+    pub voq: Voq,
+}
+
+/// Runs the greedy maximal-matching skeleton shared by every one-pass
+/// discipline (the paper's Algorithm 1 with a pluggable key).
+///
+/// Candidates are sorted by `(key, flow id)` — the id tie-break keeps
+/// results deterministic — and admitted in order whenever both of their
+/// ports are still free. With one candidate per non-empty VOQ this yields a
+/// schedule that is maximal over the non-empty VOQs, exactly the "flows are
+/// selected until all left flows are blocked" rule of §II-A.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::{greedy_by_key, Candidate};
+/// use dcn_types::{FlowId, HostId, Voq};
+///
+/// let mut cands = vec![
+///     Candidate { key: 2.0, flow: FlowId::new(1), voq: Voq::new(HostId::new(0), HostId::new(1)) },
+///     Candidate { key: 1.0, flow: FlowId::new(2), voq: Voq::new(HostId::new(2), HostId::new(1)) },
+/// ];
+/// let s = greedy_by_key(&mut cands);
+/// // Flow 2 has the smaller key and grabs egress 1 first.
+/// assert!(s.contains(FlowId::new(2)));
+/// assert!(!s.contains(FlowId::new(1)));
+/// ```
+pub fn greedy_by_key(candidates: &mut [Candidate]) -> Schedule {
+    debug_assert!(
+        candidates.iter().all(|c| c.key.is_finite()),
+        "candidate keys must be finite"
+    );
+    candidates.sort_unstable_by(|a, b| a.key.total_cmp(&b.key).then(a.flow.cmp(&b.flow)));
+    let mut schedule = Schedule::new();
+    for cand in candidates.iter() {
+        if schedule.admits(cand.voq) {
+            schedule
+                .add(cand.flow, cand.voq)
+                .expect("admits() checked both ports");
+        }
+    }
+    schedule
+}
+
+/// Asserts that `schedule` is a valid *maximal* matching over the non-empty
+/// VOQs of `table`: every selected flow is active and in its claimed VOQ,
+/// ports are used at most once (guaranteed by `Schedule`), and no non-empty
+/// VOQ has both of its ports free. Returns a description of the first
+/// violation. Intended for tests.
+pub fn check_maximal(table: &FlowTable, schedule: &Schedule) -> Result<(), String> {
+    for (id, voq) in schedule.iter() {
+        match table.get(id) {
+            None => return Err(format!("scheduled flow {id} is not active")),
+            Some(f) if f.voq() != voq => {
+                return Err(format!(
+                    "flow {id} scheduled in {voq} but lives in {}",
+                    f.voq()
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    for view in table.voqs() {
+        if schedule.admits(view.voq) {
+            return Err(format!(
+                "schedule is not maximal: {} (backlog {}) could be added",
+                view.voq, view.backlog
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowState;
+    use dcn_types::HostId;
+
+    fn cand(key: f64, id: u64, src: u32, dst: u32) -> Candidate {
+        Candidate {
+            key,
+            flow: FlowId::new(id),
+            voq: Voq::new(HostId::new(src), HostId::new(dst)),
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_smaller_key() {
+        let mut c = vec![cand(5.0, 1, 0, 1), cand(1.0, 2, 0, 2)];
+        let s = greedy_by_key(&mut c);
+        assert!(s.contains(FlowId::new(2)));
+        assert!(!s.contains(FlowId::new(1)));
+    }
+
+    #[test]
+    fn greedy_fills_independent_ports() {
+        let mut c = vec![cand(1.0, 1, 0, 1), cand(2.0, 2, 2, 3), cand(3.0, 3, 4, 5)];
+        let s = greedy_by_key(&mut c);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn ties_broken_by_flow_id() {
+        let mut c = vec![cand(1.0, 9, 0, 1), cand(1.0, 2, 2, 1)];
+        let s = greedy_by_key(&mut c);
+        assert!(s.contains(FlowId::new(2)));
+        assert!(!s.contains(FlowId::new(9)));
+    }
+
+    #[test]
+    fn check_maximal_detects_missing_voq() {
+        let mut t = FlowTable::new();
+        t.insert(FlowState::new(
+            FlowId::new(1),
+            Voq::new(HostId::new(0), HostId::new(1)),
+            4,
+        ))
+        .unwrap();
+        let empty = Schedule::new();
+        assert!(check_maximal(&t, &empty).is_err());
+
+        let mut s = Schedule::new();
+        s.add(FlowId::new(1), Voq::new(HostId::new(0), HostId::new(1)))
+            .unwrap();
+        assert!(check_maximal(&t, &s).is_ok());
+    }
+
+    #[test]
+    fn check_maximal_detects_phantom_flow() {
+        let t = FlowTable::new();
+        let mut s = Schedule::new();
+        s.add(FlowId::new(1), Voq::new(HostId::new(0), HostId::new(1)))
+            .unwrap();
+        assert!(check_maximal(&t, &s).is_err());
+    }
+}

@@ -1,0 +1,453 @@
+//! The active-flow store: flows organized in virtual output queues.
+
+use crate::FlowState;
+use dcn_types::{FlowId, HostId, Voq};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`FlowTable`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowTableError {
+    /// A flow with this identifier is already active.
+    DuplicateFlow(FlowId),
+    /// No active flow has this identifier.
+    UnknownFlow(FlowId),
+}
+
+impl fmt::Display for FlowTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowTableError::DuplicateFlow(id) => write!(f, "flow {id} is already active"),
+            FlowTableError::UnknownFlow(id) => write!(f, "flow {id} is not active"),
+        }
+    }
+}
+
+impl Error for FlowTableError {}
+
+/// Result of draining units from a flow via [`FlowTable::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// Units actually removed from the flow (≤ the requested amount).
+    pub drained: u64,
+    /// The flow's final state if the drain completed it; the flow has then
+    /// already been removed from the table.
+    pub completed: Option<FlowState>,
+}
+
+/// A read-only summary of one non-empty VOQ, as exposed to schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoqView {
+    /// Which VOQ this summarizes.
+    pub voq: Voq,
+    /// Total remaining units over all flows in the VOQ (the paper's
+    /// `X_ij(t)` backlog).
+    pub backlog: u64,
+    /// Remaining size of the shortest flow in the VOQ.
+    pub shortest_remaining: u64,
+    /// Identifier of that shortest flow (ties broken by smaller id).
+    pub shortest_flow: FlowId,
+    /// Identifier of the earliest-arrived flow in the VOQ (smallest id;
+    /// generators assign ids in arrival order).
+    pub oldest_flow: FlowId,
+    /// Number of flows waiting in the VOQ.
+    pub len: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct VoqIndex {
+    /// Flows ordered by (remaining, id): first element is the SRPT pick.
+    by_remaining: BTreeSet<(u64, FlowId)>,
+    /// Flows ordered by id (= arrival order): first element is the FIFO pick.
+    by_id: BTreeSet<FlowId>,
+    backlog: u64,
+}
+
+/// The set of active flows, indexed by VOQ, with the aggregate backlogs the
+/// backlog-aware schedulers need.
+///
+/// Invariants maintained by every operation:
+///
+/// * a VOQ entry exists iff the VOQ holds at least one flow;
+/// * `backlog` of a VOQ equals the sum of its flows' remaining units;
+/// * per-ingress-port and total backlogs equal the sums over their VOQs.
+///
+/// Lookup of the per-VOQ shortest (SRPT candidate) and oldest (FIFO
+/// candidate) flow is `O(log n)`, so a full scheduling pass costs
+/// `O(Q log Q)` in the number of non-empty VOQs rather than `O(F log F)` in
+/// the number of flows.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::{FlowState, FlowTable};
+/// use dcn_types::{FlowId, HostId, Voq};
+///
+/// let mut table = FlowTable::new();
+/// let voq = Voq::new(HostId::new(0), HostId::new(1));
+/// table.insert(FlowState::new(FlowId::new(1), voq, 5))?;
+/// table.insert(FlowState::new(FlowId::new(2), voq, 3))?;
+/// assert_eq!(table.voq_backlog(voq), 8);
+///
+/// let out = table.drain(FlowId::new(2), 3)?;
+/// assert!(out.completed.is_some());
+/// assert_eq!(table.voq_backlog(voq), 5);
+/// # Ok::<(), basrpt_core::FlowTableError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FlowTable {
+    flows: HashMap<FlowId, FlowState>,
+    voqs: BTreeMap<Voq, VoqIndex>,
+    ingress: BTreeMap<HostId, u64>,
+    total_backlog: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty flow table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Number of active flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flows are active.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Number of non-empty VOQs.
+    pub fn num_nonempty_voqs(&self) -> usize {
+        self.voqs.len()
+    }
+
+    /// Total remaining units across all flows.
+    pub fn total_backlog(&self) -> u64 {
+        self.total_backlog
+    }
+
+    /// Backlog (`X_ij`) of one VOQ; zero if the VOQ is empty.
+    pub fn voq_backlog(&self, voq: Voq) -> u64 {
+        self.voqs.get(&voq).map_or(0, |v| v.backlog)
+    }
+
+    /// Total backlog queued at one ingress port (the per-server queue length
+    /// plotted in the paper's Figs. 2 and 5b).
+    pub fn ingress_backlog(&self, host: HostId) -> u64 {
+        self.ingress.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Iterates over the ingress ports with non-zero backlog and their
+    /// backlogs, in port order (the per-server queue lengths of the paper's
+    /// Figs. 2 and 5b).
+    pub fn ingress_backlogs(&self) -> impl Iterator<Item = (HostId, u64)> + '_ {
+        self.ingress.iter().map(|(&h, &b)| (h, b))
+    }
+
+    /// The largest per-ingress-port backlog, zero for an empty table.
+    pub fn max_ingress_backlog(&self) -> u64 {
+        self.ingress.values().copied().max().unwrap_or(0)
+    }
+
+    /// Looks up an active flow.
+    pub fn get(&self, id: FlowId) -> Option<&FlowState> {
+        self.flows.get(&id)
+    }
+
+    /// Iterates over all active flows in unspecified order (for statistics;
+    /// schedulers should use [`FlowTable::voqs`]).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowState> {
+        self.flows.values()
+    }
+
+    /// Iterates over all non-empty VOQs in deterministic (lexicographic)
+    /// order, yielding the per-VOQ summaries schedulers rank.
+    pub fn voqs(&self) -> impl Iterator<Item = VoqView> + '_ {
+        self.voqs.iter().map(|(&voq, idx)| {
+            let &(shortest_remaining, shortest_flow) = idx
+                .by_remaining
+                .first()
+                .expect("non-empty VOQ invariant violated");
+            let &oldest_flow = idx.by_id.first().expect("non-empty VOQ invariant violated");
+            VoqView {
+                voq,
+                backlog: idx.backlog,
+                shortest_remaining,
+                shortest_flow,
+                oldest_flow,
+                len: idx.by_id.len(),
+            }
+        })
+    }
+
+    /// Inserts a newly arrived flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowTableError::DuplicateFlow`] if the id is already active.
+    pub fn insert(&mut self, flow: FlowState) -> Result<(), FlowTableError> {
+        if self.flows.contains_key(&flow.id()) {
+            return Err(FlowTableError::DuplicateFlow(flow.id()));
+        }
+        let idx = self.voqs.entry(flow.voq()).or_default();
+        idx.by_remaining.insert((flow.remaining(), flow.id()));
+        idx.by_id.insert(flow.id());
+        idx.backlog += flow.remaining();
+        *self.ingress.entry(flow.voq().src()).or_insert(0) += flow.remaining();
+        self.total_backlog += flow.remaining();
+        self.flows.insert(flow.id(), flow);
+        Ok(())
+    }
+
+    /// Removes a flow (e.g. a cancelled transfer), returning its state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowTableError::UnknownFlow`] if the id is not active.
+    pub fn remove(&mut self, id: FlowId) -> Result<FlowState, FlowTableError> {
+        let flow = self
+            .flows
+            .remove(&id)
+            .ok_or(FlowTableError::UnknownFlow(id))?;
+        self.unindex(&flow);
+        Ok(flow)
+    }
+
+    /// Drains up to `units` from a flow, removing the flow if it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowTableError::UnknownFlow`] if the id is not active.
+    pub fn drain(&mut self, id: FlowId, units: u64) -> Result<DrainOutcome, FlowTableError> {
+        let flow = self
+            .flows
+            .get_mut(&id)
+            .ok_or(FlowTableError::UnknownFlow(id))?;
+        let before = flow.remaining();
+        let drained = flow.drain(units);
+        let after = flow.remaining();
+        let flow = *flow;
+
+        // Re-index under the new remaining size.
+        let idx = self
+            .voqs
+            .get_mut(&flow.voq())
+            .expect("flow present but VOQ index missing");
+        idx.by_remaining.remove(&(before, id));
+        idx.backlog -= drained;
+        let ingress = self
+            .ingress
+            .get_mut(&flow.voq().src())
+            .expect("flow present but ingress index missing");
+        *ingress -= drained;
+        self.total_backlog -= drained;
+
+        if after == 0 {
+            idx.by_id.remove(&id);
+            if idx.by_id.is_empty() {
+                self.voqs.remove(&flow.voq());
+            }
+            if *ingress == 0 {
+                self.ingress.remove(&flow.voq().src());
+            }
+            self.flows.remove(&id);
+            Ok(DrainOutcome {
+                drained,
+                completed: Some(flow),
+            })
+        } else {
+            idx.by_remaining.insert((after, id));
+            Ok(DrainOutcome {
+                drained,
+                completed: None,
+            })
+        }
+    }
+
+    fn unindex(&mut self, flow: &FlowState) {
+        let idx = self
+            .voqs
+            .get_mut(&flow.voq())
+            .expect("flow present but VOQ index missing");
+        idx.by_remaining.remove(&(flow.remaining(), flow.id()));
+        idx.by_id.remove(&flow.id());
+        idx.backlog -= flow.remaining();
+        if idx.by_id.is_empty() {
+            self.voqs.remove(&flow.voq());
+        }
+        let ingress = self
+            .ingress
+            .get_mut(&flow.voq().src())
+            .expect("flow present but ingress index missing");
+        *ingress -= flow.remaining();
+        if *ingress == 0 {
+            self.ingress.remove(&flow.voq().src());
+        }
+        self.total_backlog -= flow.remaining();
+    }
+
+    /// Checks every structural invariant, returning a description of the
+    /// first violation. Intended for tests and debug assertions; cost is
+    /// linear in the number of flows.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut voq_sums: BTreeMap<Voq, u64> = BTreeMap::new();
+        let mut ingress_sums: BTreeMap<HostId, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        for flow in self.flows.values() {
+            if flow.is_complete() {
+                return Err(format!("completed flow {} still in table", flow.id()));
+            }
+            *voq_sums.entry(flow.voq()).or_insert(0) += flow.remaining();
+            *ingress_sums.entry(flow.voq().src()).or_insert(0) += flow.remaining();
+            total += flow.remaining();
+        }
+        if total != self.total_backlog {
+            return Err(format!(
+                "total backlog {} != recomputed {}",
+                self.total_backlog, total
+            ));
+        }
+        if voq_sums.len() != self.voqs.len() {
+            return Err(format!(
+                "{} indexed VOQs but {} non-empty",
+                self.voqs.len(),
+                voq_sums.len()
+            ));
+        }
+        for (voq, idx) in &self.voqs {
+            let expect = voq_sums.get(voq).copied().unwrap_or(0);
+            if idx.backlog != expect {
+                return Err(format!("VOQ {voq} backlog {} != {expect}", idx.backlog));
+            }
+            if idx.by_remaining.len() != idx.by_id.len() {
+                return Err(format!("VOQ {voq} index size mismatch"));
+            }
+        }
+        if ingress_sums != self.ingress {
+            return Err("ingress backlog index mismatch".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voq(src: u32, dst: u32) -> Voq {
+        Voq::new(HostId::new(src), HostId::new(dst))
+    }
+
+    fn flow(id: u64, src: u32, dst: u32, size: u64) -> FlowState {
+        FlowState::new(FlowId::new(id), voq(src, dst), size)
+    }
+
+    #[test]
+    fn insert_updates_all_backlogs() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        t.insert(flow(2, 0, 2, 3)).unwrap();
+        t.insert(flow(3, 1, 2, 7)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_backlog(), 15);
+        assert_eq!(t.voq_backlog(voq(0, 1)), 5);
+        assert_eq!(t.voq_backlog(voq(0, 2)), 3);
+        assert_eq!(t.ingress_backlog(HostId::new(0)), 8);
+        assert_eq!(t.ingress_backlog(HostId::new(1)), 7);
+        assert_eq!(t.num_nonempty_voqs(), 3);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        assert_eq!(
+            t.insert(flow(1, 2, 3, 4)),
+            Err(FlowTableError::DuplicateFlow(FlowId::new(1)))
+        );
+    }
+
+    #[test]
+    fn drain_partial_keeps_flow_and_reindexes() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        t.insert(flow(2, 0, 1, 3)).unwrap();
+        // Flow 2 is the SRPT candidate.
+        let view = t.voqs().next().unwrap();
+        assert_eq!(view.shortest_flow, FlowId::new(2));
+
+        // Drain flow 1 below flow 2's remaining; candidate flips.
+        let out = t.drain(FlowId::new(1), 3).unwrap();
+        assert_eq!(out.drained, 3);
+        assert!(out.completed.is_none());
+        let view = t.voqs().next().unwrap();
+        assert_eq!(view.shortest_flow, FlowId::new(1));
+        assert_eq!(view.shortest_remaining, 2);
+        assert_eq!(view.backlog, 5);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_to_completion_removes_flow_and_empty_voq() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        let out = t.drain(FlowId::new(1), 99).unwrap();
+        assert_eq!(out.drained, 5);
+        let done = out.completed.expect("flow should complete");
+        assert_eq!(done.id(), FlowId::new(1));
+        assert!(t.is_empty());
+        assert_eq!(t.num_nonempty_voqs(), 0);
+        assert_eq!(t.total_backlog(), 0);
+        assert_eq!(t.ingress_backlog(HostId::new(0)), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        t.insert(flow(2, 0, 1, 3)).unwrap();
+        let removed = t.remove(FlowId::new(1)).unwrap();
+        assert_eq!(removed.size(), 5);
+        assert_eq!(t.voq_backlog(voq(0, 1)), 3);
+        assert_eq!(
+            t.remove(FlowId::new(1)),
+            Err(FlowTableError::UnknownFlow(FlowId::new(1)))
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_unknown_flow_errors() {
+        let mut t = FlowTable::new();
+        assert_eq!(
+            t.drain(FlowId::new(9), 1),
+            Err(FlowTableError::UnknownFlow(FlowId::new(9)))
+        );
+    }
+
+    #[test]
+    fn voq_views_are_deterministically_ordered() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 2, 0, 5)).unwrap();
+        t.insert(flow(2, 0, 9, 3)).unwrap();
+        t.insert(flow(3, 1, 4, 7)).unwrap();
+        let voqs: Vec<Voq> = t.voqs().map(|v| v.voq).collect();
+        assert_eq!(voqs, vec![voq(0, 9), voq(1, 4), voq(2, 0)]);
+    }
+
+    #[test]
+    fn oldest_flow_is_smallest_id() {
+        let mut t = FlowTable::new();
+        t.insert(flow(5, 0, 1, 2)).unwrap();
+        t.insert(flow(3, 0, 1, 9)).unwrap();
+        let view = t.voqs().next().unwrap();
+        assert_eq!(view.oldest_flow, FlowId::new(3));
+        assert_eq!(view.shortest_flow, FlowId::new(5));
+        assert_eq!(view.len, 2);
+    }
+}

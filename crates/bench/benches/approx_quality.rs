@@ -1,0 +1,109 @@
+//! Ablation — how closely fast BASRPT's greedy selection approaches the
+//! exact BASRPT optimum (`V·ȳ − Σ X_ij R_ij`) it was designed to
+//! approximate (§IV-C).
+//!
+//! Random small-switch instances are generated, both schedulers pick a
+//! schedule, and the objective gap is reported. The exact scheduler
+//! enumerates every maximal schedule, so its objective is the true
+//! optimum; the table reports how often the greedy decision is exactly
+//! optimal and the mean/worst relative gap when it is not.
+
+use basrpt_core::{ExactBasrpt, FastBasrpt, FlowState, FlowTable, Schedule, Scheduler};
+use dcn_metrics::TextTable;
+use dcn_types::{FlowId, HostId, Voq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PORTS: u32 = 5;
+const INSTANCES: usize = 300;
+
+fn random_table(rng: &mut StdRng, max_flows: usize) -> FlowTable {
+    let mut table = FlowTable::new();
+    let n_flows = rng.gen_range(1..=max_flows);
+    for i in 0..n_flows {
+        let src = rng.gen_range(0..PORTS);
+        let mut dst = rng.gen_range(0..PORTS - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        let size = rng.gen_range(1..=1_000u64);
+        table
+            .insert(FlowState::new(
+                FlowId::new(i as u64),
+                Voq::new(HostId::new(src), HostId::new(dst)),
+                size,
+            ))
+            .expect("unique ids");
+    }
+    table
+}
+
+fn objective(table: &FlowTable, schedule: &Schedule, v: f64) -> f64 {
+    if schedule.is_empty() {
+        return 0.0;
+    }
+    let sizes: f64 = schedule
+        .flow_ids()
+        .map(|id| table.get(id).expect("scheduled flow").remaining() as f64)
+        .sum();
+    let backlog: f64 = schedule
+        .iter()
+        .map(|(_, voq)| table.voq_backlog(voq) as f64)
+        .sum();
+    v * sizes / schedule.len() as f64 - backlog
+}
+
+fn main() {
+    println!("== Ablation: fast BASRPT vs exact BASRPT objective quality ==");
+    println!("{PORTS}-port switch, {INSTANCES} random instances per V\n");
+
+    let mut table = TextTable::new(vec![
+        "V".into(),
+        "greedy optimal".into(),
+        "aggregate rel. gap".into(),
+        "worst instance gap".into(),
+    ]);
+    for v in [0.0, 1.0, 10.0, 100.0, 1000.0] {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut optimal = 0usize;
+        let mut gap_sum = 0.0;
+        let mut opt_magnitude_sum = 0.0;
+        let mut worst = 0.0f64;
+        for _ in 0..INSTANCES {
+            let t = random_table(&mut rng, 14);
+            let exact = ExactBasrpt::new(v)
+                .try_schedule(&t)
+                .expect("small instance");
+            let fast = FastBasrpt::new(v, PORTS as usize).schedule(&t);
+            let obj_e = objective(&t, &exact, v);
+            let obj_f = objective(&t, &fast, v);
+            let gap = obj_f - obj_e; // >= 0: exact is the minimum
+            if gap <= 1e-9 {
+                optimal += 1;
+            }
+            gap_sum += gap;
+            opt_magnitude_sum += obj_e.abs();
+            // Per-instance relative gap against the objective's magnitude,
+            // guarded for near-zero optima.
+            worst = worst.max(gap / obj_e.abs().max(v.max(1.0)));
+        }
+        // Aggregate relative gap: total excess objective over total optimal
+        // magnitude — robust to individual near-zero optima.
+        let mean_gap = gap_sum / opt_magnitude_sum.max(1e-12);
+        table.add_row(vec![
+            format!("{v}"),
+            format!(
+                "{optimal}/{INSTANCES} ({:.0}%)",
+                100.0 * optimal as f64 / INSTANCES as f64
+            ),
+            format!("{:.4}", mean_gap),
+            format!("{:.4}", worst),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: the greedy one-pass selection attains the exact optimum \
+         on most instances and stays within a few percent otherwise — the \
+         O(N^3)-vs-O(N!) tradeoff of §IV-C."
+    );
+}

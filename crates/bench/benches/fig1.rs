@@ -1,0 +1,56 @@
+//! Fig. 1 — the SRPT instability walk-through (3 flows, 2 bottlenecks).
+//!
+//! Regenerates the slot-by-slot outcome of the paper's motivating example:
+//! SRPT (Fig. 1b) strands one packet of the 5-packet flow after 6 slots,
+//! while the backlog-aware schedule (Fig. 1c) completes all three flows in
+//! the same horizon, a throughput gain of 1/6 pkt/slot.
+
+use basrpt_core::{ExactBasrpt, FastBasrpt, Scheduler, Srpt, ThresholdBacklogSrpt};
+use dcn_metrics::TextTable;
+use dcn_switch::fig1;
+
+fn main() {
+    println!("== Fig. 1: SRPT vs backlog-aware scheduling on the 3-flow example ==\n");
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Srpt::new()),
+        Box::new(ExactBasrpt::new(0.8)),
+        Box::new(FastBasrpt::new(0.8, 4)),
+        Box::new(ThresholdBacklogSrpt::new(2)),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "scheduler".into(),
+        "delivered (pkts)".into(),
+        "stranded".into(),
+        "f1 FCT".into(),
+        "f2 FCT".into(),
+        "f3 FCT".into(),
+        "throughput (pkt/slot)".into(),
+    ]);
+    for mut sched in schedulers {
+        let run = fig1::run_fig1(sched.as_mut());
+        let fct_of = |pick: &dyn Fn(&dcn_switch::CompletedFlow) -> bool| {
+            run.completions
+                .iter()
+                .find(|c| pick(c))
+                .map_or("-".to_string(), |c| format!("{} slots", c.fct_slots()))
+        };
+        table.add_row(vec![
+            sched.name().to_string(),
+            format!("{}/{}", run.delivered_packets, fig1::TOTAL_PACKETS),
+            format!("{}", run.leftover_packets),
+            fct_of(&|c| c.size == 5),
+            fct_of(&|c| c.voq.dst() == fig1::HOST_C),
+            fct_of(&|c| c.voq.src() == fig1::HOST_D),
+            format!(
+                "{:.3}",
+                run.delivered_packets as f64 / fig1::HORIZON_SLOTS as f64
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper: SRPT strands 1 packet (Fig. 1b); backlog-aware completes all \
+         7 in 6 slots (Fig. 1c), +1/6 pkt/slot."
+    );
+}

@@ -1,0 +1,85 @@
+//! Ablation (§IV-B design choice) — the penalty must be the *mean*
+//! selected size, not the *sum*: "The average value rather than the sum is
+//! to avoid the preference for scheduling with less flows which lowers the
+//! link utilization."
+//!
+//! Random small-switch instances are scheduled under both objectives. The
+//! sum objective systematically selects fewer flows (lower instantaneous
+//! utilization of the crossbar), confirming the paper's reasoning.
+
+use basrpt_core::{ExactBasrpt, FlowState, FlowTable, PenaltyKind};
+use dcn_metrics::TextTable;
+use dcn_types::{FlowId, HostId, Voq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PORTS: u32 = 5;
+const INSTANCES: usize = 300;
+
+fn random_table(rng: &mut StdRng) -> FlowTable {
+    let mut table = FlowTable::new();
+    let n_flows = rng.gen_range(2..=14usize);
+    for i in 0..n_flows {
+        let src = rng.gen_range(0..PORTS);
+        let mut dst = rng.gen_range(0..PORTS - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        table
+            .insert(FlowState::new(
+                FlowId::new(i as u64),
+                Voq::new(HostId::new(src), HostId::new(dst)),
+                rng.gen_range(1..=1_000u64),
+            ))
+            .expect("unique ids");
+    }
+    table
+}
+
+fn main() {
+    println!("== Ablation: mean vs sum penalty in the exact BASRPT objective ==");
+    println!("{PORTS}-port switch, {INSTANCES} random instances per V\n");
+
+    let mut table = TextTable::new(vec![
+        "V".into(),
+        "avg selected (mean obj)".into(),
+        "avg selected (sum obj)".into(),
+        "sum picks fewer".into(),
+    ]);
+    for v in [1.0, 10.0, 100.0, 1000.0] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut mean_total = 0usize;
+        let mut sum_total = 0usize;
+        let mut fewer = 0usize;
+        for _ in 0..INSTANCES {
+            let t = random_table(&mut rng);
+            let mean_s = ExactBasrpt::new(v).try_schedule(&t).expect("small");
+            let sum_s = ExactBasrpt::new(v)
+                .with_penalty(PenaltyKind::SumSize)
+                .try_schedule(&t)
+                .expect("small");
+            mean_total += mean_s.len();
+            sum_total += sum_s.len();
+            if sum_s.len() < mean_s.len() {
+                fewer += 1;
+            }
+        }
+        table.add_row(vec![
+            format!("{v}"),
+            format!("{:.2}", mean_total as f64 / INSTANCES as f64),
+            format!("{:.2}", sum_total as f64 / INSTANCES as f64),
+            format!(
+                "{fewer}/{INSTANCES} ({:.0}%)",
+                100.0 * fewer as f64 / INSTANCES as f64
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: the sum objective selects fewer flows as V grows — the \
+         utilization loss the paper's mean-penalty design avoids. (Both \
+         objectives only search maximal schedules, so the gap is bounded; \
+         without the maximality constraint the sum objective would idle \
+         even more of the crossbar.)"
+    );
+}

@@ -1,0 +1,104 @@
+//! Ablation — scheduler decision latency (§IV-C's complexity discussion).
+//!
+//! Criterion micro-benchmarks of a single `schedule()` call as the number
+//! of active flows grows, for every discipline (and exact BASRPT on the
+//! small instances it can enumerate). The paper motivates fast BASRPT by
+//! exactly this cost: the exact scheduler is exponential, the greedy pass
+//! is `O(N^2 log N^2)` worst case and `O(Q log Q)` per decision here.
+
+use basrpt_core::{
+    ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, MaxWeight, Scheduler, Srpt,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_types::{FlowId, HostId, Voq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn table_with(num_hosts: u32, num_flows: usize, seed: u64) -> FlowTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = FlowTable::new();
+    for i in 0..num_flows {
+        let src = rng.gen_range(0..num_hosts);
+        let mut dst = rng.gen_range(0..num_hosts - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        table
+            .insert(FlowState::new(
+                FlowId::new(i as u64),
+                Voq::new(HostId::new(src), HostId::new(dst)),
+                rng.gen_range(1..=50_000_000u64),
+            ))
+            .expect("unique ids");
+    }
+    table
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_decision");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+
+    for &flows in &[100usize, 1_000, 10_000] {
+        let table = table_with(144, flows, 42);
+        let mut schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+            ("srpt", Box::new(Srpt::new())),
+            ("fast_basrpt", Box::new(FastBasrpt::new(2500.0, 144))),
+            ("maxweight", Box::new(MaxWeight::new())),
+            ("fifo", Box::new(Fifo::new())),
+        ];
+        for (name, sched) in schedulers.iter_mut() {
+            group.bench_with_input(BenchmarkId::new(*name, flows), &table, |b, t| {
+                b.iter(|| sched.schedule(std::hint::black_box(t)))
+            });
+        }
+        // The literal Algorithm 1 (sorts all flows) vs the per-VOQ-head
+        // scheduler above — the O(F log F) vs O(Q log Q) gap.
+        group.bench_with_input(
+            BenchmarkId::new("fast_basrpt_literal", flows),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    basrpt_core::reference::fast_basrpt_all_flows(
+                        std::hint::black_box(t),
+                        2500.0,
+                        144,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_basrpt_enumeration");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    for &ports in &[3u32, 4, 5, 6] {
+        // Dense small instance: ~2 flows per VOQ.
+        let flows = (ports * ports * 2) as usize;
+        let table = table_with(ports, flows, 7);
+        let exact = ExactBasrpt::with_port_limit(100.0, ports as usize);
+        group.bench_with_input(BenchmarkId::new("ports", ports), &table, |b, t| {
+            b.iter(|| exact.try_schedule(std::hint::black_box(t)).unwrap())
+        });
+        // The greedy approximation on the identical instance, for contrast.
+        let mut fast = FastBasrpt::new(100.0, ports as usize);
+        group.bench_with_input(
+            BenchmarkId::new("fast_same_instance", ports),
+            &table,
+            |b, t| b.iter(|| fast.schedule(std::hint::black_box(t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disciplines, bench_exact_blowup);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Table I — average and 99th-percentile FCT (ms) for queries and
+//! background flows: SRPT vs fast BASRPT (V = 2500) at saturating load.
+//!
+//! The paper reports that at ~9.5 Gbps per port the fast BASRPT query FCT
+//! stays below 2× SRPT's average and 4× its 99th percentile, while
+//! background flows are essentially unaffected and the global throughput
+//! improves. The `V` parameter is mapped to the paper-equivalent per-flow
+//! weight `V/144` when the fabric is scaled down (see
+//! `basrpt_bench::paper_equivalent_fast_basrpt`).
+
+use basrpt_bench::{paper_equivalent_fast_basrpt, run_fabric_with, Scale, FCT_BASE_LATENCY_US};
+use basrpt_core::{Scheduler, Srpt};
+use dcn_fabric::SimConfig;
+use dcn_metrics::TextTable;
+use dcn_types::{FlowClass, SimTime};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Table I: FCT (ms), SRPT vs fast BASRPT (V = 2500) ==");
+    println!(
+        "{scale}, load {:.0}%, latency floor {FCT_BASE_LATENCY_US} us\n",
+        scale.saturating_load() * 100.0
+    );
+
+    let topo = scale.topology();
+    let spec = scale.spec(scale.saturating_load()).expect("valid load");
+    let n = topo.num_hosts() as usize;
+    let horizon = scale.fct_horizon();
+
+    let mut table = TextTable::new(vec![
+        "scheme".into(),
+        "query avg".into(),
+        "query p99".into(),
+        "bg avg".into(),
+        "bg p99".into(),
+        "throughput (Gbps)".into(),
+        "completions".into(),
+    ]);
+
+    let mut rows: Vec<(String, Box<dyn Scheduler>)> = vec![
+        ("SRPT".into(), Box::new(Srpt::new())),
+        (
+            "fast BASRPT (V=2500)".into(),
+            Box::new(paper_equivalent_fast_basrpt(2500.0, n)),
+        ),
+    ];
+    let mut summaries = Vec::new();
+    for (label, sched) in rows.iter_mut() {
+        let config =
+            SimConfig::new(horizon).with_base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US));
+        let run = run_fabric_with(&topo, &spec, sched.as_mut(), 7, config);
+        let q = run.fct.summary(FlowClass::Query).expect("queries finish");
+        let b = run
+            .fct
+            .summary(FlowClass::Background)
+            .expect("background finishes");
+        table.add_row(vec![
+            label.clone(),
+            format!("{:.3}", q.mean_ms()),
+            format!("{:.3}", q.p99_ms()),
+            format!("{:.2}", b.mean_ms()),
+            format!("{:.1}", b.p99_ms()),
+            format!("{:.1}", run.average_throughput().gbps()),
+            format!("{}", run.completions),
+        ]);
+        summaries.push((label.clone(), q, b, run.average_throughput()));
+    }
+    println!("{table}");
+
+    let (_, q_srpt, b_srpt, t_srpt) = &summaries[0];
+    let (_, q_fb, b_fb, t_fb) = &summaries[1];
+    println!("ratios (fast BASRPT / SRPT):");
+    println!(
+        "  query avg {:.2}x, query p99 {:.2}x, bg avg {:.2}x, bg p99 {:.2}x, throughput {:+.1} Gbps",
+        q_fb.mean_ms() / q_srpt.mean_ms(),
+        q_fb.p99_ms() / q_srpt.p99_ms(),
+        b_fb.mean_ms() / b_srpt.mean_ms(),
+        b_fb.p99_ms() / b_srpt.p99_ms(),
+        t_fb.gbps() - t_srpt.gbps()
+    );
+    println!(
+        "paper: query avg < 2x, query p99 < 4x, background ~ SRPT, throughput higher.\n\
+         note: FCTs include the {FCT_BASE_LATENCY_US} us propagation floor. Our SRPT query\n\
+         baseline is still lower than the paper's (the flow-level engine has no\n\
+         per-packet queueing), so the query ratios run higher than the paper's\n\
+         <2x / <4x while the absolute fast-BASRPT FCTs remain in the paper's\n\
+         millisecond range; the background and throughput shapes match."
+    );
+}

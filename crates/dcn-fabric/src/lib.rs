@@ -1,0 +1,46 @@
+//! Event-driven flow-level data-center fabric simulator.
+//!
+//! This crate stands in for the flow-level simulator the paper's authors
+//! wrote in Java (§V-A): a multi-rooted fat-tree fabric
+//! ([`FatTree::paper_topology`]: 144 hosts, 12 ToRs, 3 cores, 10 Gbps edge
+//! and 40 Gbps core links) driven by the `dcn-workload` traffic pattern and
+//! scheduled centrally by any `basrpt_core::Scheduler`.
+//!
+//! The simulation is *flow-level* and *event-driven*: between events the
+//! scheduled flow set is fixed and each selected flow drains at its
+//! allocated (line) rate, so the next completion instant is analytic. The
+//! scheduling decision is recomputed on every flow arrival and completion,
+//! exactly the update rule of the paper's centralized schedulers. With the
+//! paper's full-bisection topology the binding constraints are the host
+//! NICs, so a decision is a crossbar matching over (source, destination)
+//! hosts — the "one big switch" abstraction — while the optional
+//! oversubscribed mode additionally enforces per-rack uplink capacity.
+//!
+//! # Example
+//!
+//! ```
+//! use basrpt_core::Srpt;
+//! use dcn_fabric::{simulate, FatTree, SimConfig};
+//! use dcn_types::SimTime;
+//! use dcn_workload::TrafficSpec;
+//!
+//! let topo = FatTree::scaled(2, 4, 1)?; // 8 hosts, 1 core
+//! let spec = TrafficSpec::scaled(2, 4, 0.5)?;
+//! let run = simulate(
+//!     &topo,
+//!     &mut Srpt::new(),
+//!     spec.generator(7)?,
+//!     SimConfig::new(SimTime::from_secs(0.2)),
+//! )?;
+//! assert!(run.completions > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod topology;
+
+pub use engine::{simulate, FabricError, FabricRun, SimConfig};
+pub use topology::{FatTree, TopologyError};

@@ -1,0 +1,239 @@
+//! The multi-rooted fat-tree topology of the paper's evaluation (Fig. 4).
+
+use dcn_types::{HostId, RackId, Rate, Voq};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error building a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyError(String);
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid topology: {}", self.0)
+    }
+}
+
+impl Error for TopologyError {}
+
+/// A three-layer multi-rooted tree: `num_racks` top-of-rack switches each
+/// serving `hosts_per_rack` hosts over `edge_rate` links, fully connected
+/// to `num_cores` core switches over `core_rate` links (the paper's Fig. 4
+/// has 12 racks × 12 hosts, 3 cores, 10/40 Gbps).
+///
+/// The paper configures the bandwidths so "the bottleneck is not in the
+/// network": [`FatTree::is_full_bisection`] checks that a rack's uplink
+/// capacity covers all of its hosts. In full-bisection mode only the edge
+/// (host NIC) constraints bind and scheduling is a pure crossbar matching;
+/// otherwise the engine additionally enforces per-rack uplink capacity.
+///
+/// # Example
+///
+/// ```
+/// use dcn_fabric::FatTree;
+/// let topo = FatTree::paper_topology();
+/// assert_eq!(topo.num_hosts(), 144);
+/// assert!(topo.is_full_bisection());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FatTree {
+    num_racks: u32,
+    hosts_per_rack: u32,
+    num_cores: u32,
+    edge_rate: Rate,
+    core_rate: Rate,
+}
+
+impl FatTree {
+    /// Builds a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if any dimension is zero or a rate is not
+    /// positive.
+    pub fn new(
+        num_racks: u32,
+        hosts_per_rack: u32,
+        num_cores: u32,
+        edge_rate: Rate,
+        core_rate: Rate,
+    ) -> Result<Self, TopologyError> {
+        if num_racks == 0 || hosts_per_rack == 0 || num_cores == 0 {
+            return Err(TopologyError(
+                "racks, hosts per rack and cores must all be positive".into(),
+            ));
+        }
+        if edge_rate.is_zero() || core_rate.is_zero() {
+            return Err(TopologyError("link rates must be positive".into()));
+        }
+        Ok(FatTree {
+            num_racks,
+            hosts_per_rack,
+            num_cores,
+            edge_rate,
+            core_rate,
+        })
+    }
+
+    /// The paper's evaluation fabric: 12 racks × 12 hosts, 3 cores,
+    /// 10 Gbps edge links, 40 Gbps core links (Fig. 4).
+    pub fn paper_topology() -> Self {
+        FatTree::new(12, 12, 3, Rate::from_gbps(10.0), Rate::from_gbps(40.0))
+            .expect("paper topology is valid")
+    }
+
+    /// A scaled-down fabric with the paper's link rates and full bisection
+    /// preserved when `num_cores × 40 ≥ hosts_per_rack × 10`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] on zero dimensions.
+    pub fn scaled(
+        num_racks: u32,
+        hosts_per_rack: u32,
+        num_cores: u32,
+    ) -> Result<Self, TopologyError> {
+        FatTree::new(
+            num_racks,
+            hosts_per_rack,
+            num_cores,
+            Rate::from_gbps(10.0),
+            Rate::from_gbps(40.0),
+        )
+    }
+
+    /// Number of racks (= ToR switches).
+    pub fn num_racks(&self) -> u32 {
+        self.num_racks
+    }
+
+    /// Hosts per rack.
+    pub fn hosts_per_rack(&self) -> u32 {
+        self.hosts_per_rack
+    }
+
+    /// Number of core switches.
+    pub fn num_cores(&self) -> u32 {
+        self.num_cores
+    }
+
+    /// Total number of hosts.
+    pub fn num_hosts(&self) -> u32 {
+        self.num_racks * self.hosts_per_rack
+    }
+
+    /// Host NIC rate.
+    pub fn edge_rate(&self) -> Rate {
+        self.edge_rate
+    }
+
+    /// ToR-to-core link rate.
+    pub fn core_rate(&self) -> Rate {
+        self.core_rate
+    }
+
+    /// Aggregate uplink capacity of one rack (`num_cores × core_rate`).
+    pub fn rack_uplink_capacity(&self) -> Rate {
+        self.core_rate * self.num_cores as f64
+    }
+
+    /// Whether a host is part of this topology.
+    pub fn contains(&self, host: HostId) -> bool {
+        host.index() < self.num_hosts()
+    }
+
+    /// The rack a host lives in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is outside the topology.
+    pub fn rack_of(&self, host: HostId) -> RackId {
+        assert!(self.contains(host), "host {host} outside topology");
+        RackId::new(host.index() / self.hosts_per_rack)
+    }
+
+    /// Whether a flow between this VOQ's endpoints stays inside one rack
+    /// (and therefore never touches the core layer).
+    pub fn is_intra_rack(&self, voq: Voq) -> bool {
+        self.rack_of(voq.src()) == self.rack_of(voq.dst())
+    }
+
+    /// Whether every rack's uplink capacity covers its hosts' aggregate
+    /// edge capacity — the paper's "bottleneck not in the network"
+    /// configuration (12 × 10 Gbps ≤ 3 × 40 Gbps holds with equality).
+    pub fn is_full_bisection(&self) -> bool {
+        self.rack_uplink_capacity().bytes_per_sec()
+            >= self.edge_rate.bytes_per_sec() * self.hosts_per_rack as f64
+    }
+
+    /// The oversubscription ratio: host capacity per rack divided by
+    /// uplink capacity (1.0 = exactly full bisection, > 1 = oversubscribed).
+    pub fn oversubscription(&self) -> f64 {
+        self.edge_rate.bytes_per_sec() * self.hosts_per_rack as f64
+            / self.rack_uplink_capacity().bytes_per_sec()
+    }
+
+    /// Maximum number of concurrently transmitting *inter-rack* flows a
+    /// single rack can source (or sink) at full edge rate.
+    pub fn max_inter_rack_flows_per_rack(&self) -> u32 {
+        let ratio = self.rack_uplink_capacity().bytes_per_sec() / self.edge_rate.bytes_per_sec();
+        ratio.floor() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_matches_fig4() {
+        let t = FatTree::paper_topology();
+        assert_eq!(t.num_racks(), 12);
+        assert_eq!(t.hosts_per_rack(), 12);
+        assert_eq!(t.num_cores(), 3);
+        assert_eq!(t.num_hosts(), 144);
+        assert!((t.edge_rate().gbps() - 10.0).abs() < 1e-9);
+        assert!((t.core_rate().gbps() - 40.0).abs() < 1e-9);
+        assert!(t.is_full_bisection());
+        assert!((t.oversubscription() - 1.0).abs() < 1e-12);
+        assert_eq!(t.max_inter_rack_flows_per_rack(), 12);
+    }
+
+    #[test]
+    fn rack_membership() {
+        let t = FatTree::paper_topology();
+        assert_eq!(t.rack_of(HostId::new(0)), RackId::new(0));
+        assert_eq!(t.rack_of(HostId::new(11)), RackId::new(0));
+        assert_eq!(t.rack_of(HostId::new(12)), RackId::new(1));
+        assert_eq!(t.rack_of(HostId::new(143)), RackId::new(11));
+        assert!(t.is_intra_rack(Voq::new(HostId::new(0), HostId::new(5))));
+        assert!(!t.is_intra_rack(Voq::new(HostId::new(0), HostId::new(20))));
+        assert!(t.contains(HostId::new(143)));
+        assert!(!t.contains(HostId::new(144)));
+    }
+
+    #[test]
+    fn oversubscribed_topology_detected() {
+        // 12 hosts × 10 Gbps = 120 Gbps vs 1 core × 40 Gbps.
+        let t = FatTree::scaled(4, 12, 1).unwrap();
+        assert!(!t.is_full_bisection());
+        assert!((t.oversubscription() - 3.0).abs() < 1e-12);
+        assert_eq!(t.max_inter_rack_flows_per_rack(), 4);
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        assert!(FatTree::scaled(0, 12, 3).is_err());
+        assert!(FatTree::scaled(12, 0, 3).is_err());
+        assert!(FatTree::scaled(12, 12, 0).is_err());
+        assert!(FatTree::new(1, 1, 1, Rate::ZERO, Rate::from_gbps(40.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn rack_of_checks_bounds() {
+        let t = FatTree::scaled(2, 2, 1).unwrap();
+        let _ = t.rack_of(HostId::new(99));
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal CSV export for run artifacts.
+//!
+//! The workspace deliberately avoids serialization-format dependencies;
+//! this module hand-writes RFC-4180-compatible CSV so downstream users can
+//! load time series and summaries into pandas/gnuplot/Excel directly.
+
+use crate::{FctSummary, TimeSeries};
+use std::io::{self, Write};
+
+/// Quotes a CSV cell if it contains a separator, quote or newline.
+fn cell(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Writes one CSV row.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_row<W: Write>(w: &mut W, cells: &[&str]) -> io::Result<()> {
+    let line: Vec<String> = cells.iter().map(|c| cell(c)).collect();
+    writeln!(w, "{}", line.join(","))
+}
+
+/// Writes a time series as `time_secs,value` rows with a header.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Example
+///
+/// ```
+/// use dcn_metrics::{csv, TimeSeries};
+/// let mut ts = TimeSeries::new();
+/// ts.push(0.0, 1.0);
+/// ts.push(1.0, 2.0);
+/// let mut out = Vec::new();
+/// csv::write_time_series(&mut out, "backlog_bytes", &ts)?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.starts_with("time_secs,backlog_bytes\n"));
+/// assert_eq!(text.lines().count(), 3);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_time_series<W: Write>(
+    w: &mut W,
+    value_name: &str,
+    series: &TimeSeries,
+) -> io::Result<()> {
+    write_row(w, &["time_secs", value_name])?;
+    for (t, v) in series.times().iter().zip(series.values()) {
+        write_row(w, &[&format!("{t}"), &format!("{v}")])?;
+    }
+    Ok(())
+}
+
+/// Writes labeled FCT summaries as one row per label.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_fct_summaries<W: Write>(w: &mut W, rows: &[(&str, FctSummary)]) -> io::Result<()> {
+    write_row(
+        w,
+        &[
+            "label",
+            "count",
+            "mean_ms",
+            "p50_ms",
+            "p99_ms",
+            "max_ms",
+            "total_bytes",
+        ],
+    )?;
+    for (label, s) in rows {
+        write_row(
+            w,
+            &[
+                label,
+                &s.count.to_string(),
+                &format!("{}", s.mean_secs * 1e3),
+                &format!("{}", s.p50_secs * 1e3),
+                &format!("{}", s.p99_secs * 1e3),
+                &format!("{}", s.max_secs * 1e3),
+                &s.total_bytes.as_u64().to_string(),
+            ],
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_types::Bytes;
+
+    #[test]
+    fn cells_are_quoted_when_needed() {
+        let mut out = Vec::new();
+        write_row(&mut out, &["a,b", "plain", "has \"quote\""]).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "\"a,b\",plain,\"has \"\"quote\"\"\"\n"
+        );
+    }
+
+    #[test]
+    fn time_series_roundtrip_shape() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.5, 10.0);
+        ts.push(1.5, 20.0);
+        let mut out = Vec::new();
+        write_time_series(&mut out, "v", &ts).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["time_secs,v", "0.5,10", "1.5,20"]);
+    }
+
+    #[test]
+    fn fct_summary_rows() {
+        let s = FctSummary {
+            count: 3,
+            mean_secs: 0.001,
+            p50_secs: 0.001,
+            p99_secs: 0.002,
+            max_secs: 0.002,
+            total_bytes: Bytes::from_kb(60),
+        };
+        let mut out = Vec::new();
+        write_fct_summaries(&mut out, &[("query", s)]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("query,3,1,1,2,2,60000"));
+    }
+}

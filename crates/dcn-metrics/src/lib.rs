@@ -1,0 +1,35 @@
+//! Measurement and analysis utilities for the BASRPT reproduction.
+//!
+//! The paper's evaluation (§V-A) reports three families of metrics, each of
+//! which has a dedicated module here:
+//!
+//! * **Flow completion time** ([`FctRecorder`], [`FctSummary`]) — mean and
+//!   99th-percentile FCT, reported separately for query and background
+//!   flows (Table I, Figs. 6 and 8).
+//! * **Throughput** ([`ThroughputMeter`]) — total bytes leaving the fabric
+//!   over the run (Figs. 5a, 6c, 7a).
+//! * **Queue-length evolution** ([`TimeSeries`], [`StabilityReport`]) —
+//!   per-port backlog sampled over the run and a trend-based stability
+//!   verdict reproducing the paper's "keeps growing in macroscale ⇒
+//!   unstable" judgement (Figs. 2, 5b, 7b).
+//!
+//! Plus [`TextTable`], a small fixed-width table renderer used by the bench
+//! harness to print paper-style tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buckets;
+pub mod csv;
+mod fct;
+mod stability;
+mod table;
+mod throughput;
+mod timeseries;
+
+pub use buckets::{SizeBucket, SizeBucketRecorder};
+pub use fct::{percentile, FctRecorder, FctSummary};
+pub use stability::{StabilityReport, StabilityVerdict, TrendConfig};
+pub use table::TextTable;
+pub use throughput::ThroughputMeter;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,196 @@
+//! Trend-based stability classification of queue-length traces.
+
+use crate::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The verdict for a queue-length trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StabilityVerdict {
+    /// The backlog fluctuates around a level without macroscale growth.
+    Stable,
+    /// The backlog keeps growing over the observation window — the paper's
+    /// operational definition of instability (§V-A).
+    Growing,
+}
+
+impl fmt::Display for StabilityVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StabilityVerdict::Stable => f.write_str("stable"),
+            StabilityVerdict::Growing => f.write_str("growing"),
+        }
+    }
+}
+
+/// Configuration for the trend test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendConfig {
+    /// Fraction of the trace to discard as warm-up before fitting the trend
+    /// (default 0.5 — judge on the second half).
+    pub warmup_fraction: f64,
+    /// The trace is *growing* if the fitted linear growth over the judged
+    /// window exceeds this fraction of the window's mean level
+    /// (default 0.5 — grows by more than half its own level).
+    pub growth_fraction: f64,
+    /// Absolute floor: traces whose mean level stays below this value are
+    /// always considered stable, whatever their relative trend (filters
+    /// out near-empty queues whose relative growth is meaningless).
+    pub level_floor: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            warmup_fraction: 0.5,
+            growth_fraction: 0.5,
+            level_floor: 1.0,
+        }
+    }
+}
+
+/// The outcome of classifying a queue-length trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// Stable or growing.
+    pub verdict: StabilityVerdict,
+    /// Least-squares slope over the judged window (units/second).
+    pub slope_per_sec: f64,
+    /// Mean level over the judged window.
+    pub tail_mean: f64,
+    /// Final sampled value.
+    pub last_value: f64,
+    /// Fitted relative growth over the judged window
+    /// (`slope × window / tail_mean`).
+    pub relative_growth: f64,
+}
+
+impl StabilityReport {
+    /// Classifies a backlog trace.
+    ///
+    /// The long observation window "filters out the impact of short-term
+    /// arrivals" (§V-A): the first `warmup_fraction` of the trace is
+    /// dropped, a least-squares line is fitted to the remainder, and the
+    /// trace is ruled *growing* when the fitted growth across the judged
+    /// window exceeds `growth_fraction` of the window's mean level.
+    ///
+    /// Traces with fewer than four post-warm-up samples are judged `Stable`
+    /// (there is no evidence of growth).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dcn_metrics::{StabilityReport, StabilityVerdict, TimeSeries, TrendConfig};
+    /// let mut growing = TimeSeries::new();
+    /// let mut flat = TimeSeries::new();
+    /// for i in 0..100 {
+    ///     growing.push(i as f64, 10.0 * i as f64);
+    ///     flat.push(i as f64, 500.0 + (i % 7) as f64);
+    /// }
+    /// let cfg = TrendConfig::default();
+    /// assert_eq!(StabilityReport::classify(&growing, cfg).verdict, StabilityVerdict::Growing);
+    /// assert_eq!(StabilityReport::classify(&flat, cfg).verdict, StabilityVerdict::Stable);
+    /// ```
+    pub fn classify(series: &TimeSeries, config: TrendConfig) -> StabilityReport {
+        let tail = series.tail(config.warmup_fraction);
+        let last_value = series.last_value().unwrap_or(0.0);
+        if tail.len() < 4 {
+            return StabilityReport {
+                verdict: StabilityVerdict::Stable,
+                slope_per_sec: 0.0,
+                tail_mean: tail.mean().unwrap_or(0.0),
+                last_value,
+                relative_growth: 0.0,
+            };
+        }
+        let slope = tail.slope().unwrap_or(0.0);
+        let tail_mean = tail.mean().expect("tail non-empty");
+        let window = tail.times().last().expect("non-empty") - tail.times()[0];
+        let relative_growth = if tail_mean > 0.0 {
+            slope * window / tail_mean
+        } else {
+            0.0
+        };
+        let verdict = if tail_mean > config.level_floor
+            && slope > 0.0
+            && relative_growth > config.growth_fraction
+        {
+            StabilityVerdict::Growing
+        } else {
+            StabilityVerdict::Stable
+        };
+        StabilityReport {
+            verdict,
+            slope_per_sec: slope,
+            tail_mean,
+            last_value,
+            relative_growth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64, n: usize) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for i in 0..n {
+            let t = i as f64;
+            ts.push(t, f(t));
+        }
+        ts
+    }
+
+    #[test]
+    fn linear_growth_is_growing() {
+        let ts = series(|t| 100.0 * t, 200);
+        let r = StabilityReport::classify(&ts, TrendConfig::default());
+        assert_eq!(r.verdict, StabilityVerdict::Growing);
+        assert!(r.slope_per_sec > 99.0);
+        assert!(r.relative_growth > 0.5);
+    }
+
+    #[test]
+    fn flat_with_noise_is_stable() {
+        let ts = series(|t| 1000.0 + (t * 0.7).sin() * 50.0, 500);
+        let r = StabilityReport::classify(&ts, TrendConfig::default());
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn transient_then_flat_is_stable() {
+        // Warm-up ramp that settles: judged window is flat.
+        let ts = series(|t| if t < 100.0 { 10.0 * t } else { 1000.0 }, 400);
+        let r = StabilityReport::classify(&ts, TrendConfig::default());
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn tiny_levels_are_stable_whatever_the_trend() {
+        let ts = series(|t| 1e-6 * t, 100);
+        let r = StabilityReport::classify(&ts, TrendConfig::default());
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn short_traces_are_stable() {
+        let ts = series(|t| 100.0 * t, 3);
+        let r = StabilityReport::classify(&ts, TrendConfig::default());
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn decaying_backlog_is_stable() {
+        let ts = series(|t| 1e6 / (1.0 + t), 300);
+        let r = StabilityReport::classify(&ts, TrendConfig::default());
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+        assert!(r.slope_per_sec <= 0.0);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(StabilityVerdict::Stable.to_string(), "stable");
+        assert_eq!(StabilityVerdict::Growing.to_string(), "growing");
+    }
+}

@@ -1,0 +1,87 @@
+//! Global throughput accounting.
+
+use dcn_types::{Bytes, Rate, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Counts bytes leaving the fabric, the paper's throughput metric:
+/// "calculated globally in bytes, counting the total data volume leaving
+/// the fabric during the whole simulation period" (§V-A). Packets still in
+/// flight at the end of a run are *not* counted — that difference is
+/// exactly the bandwidth an unstable discipline wastes.
+///
+/// # Example
+///
+/// ```
+/// use dcn_metrics::ThroughputMeter;
+/// use dcn_types::{Bytes, SimTime};
+///
+/// let mut m = ThroughputMeter::new();
+/// m.deliver(Bytes::from_mb(10));
+/// m.deliver(Bytes::from_mb(10));
+/// assert_eq!(m.delivered(), Bytes::from_mb(20));
+/// let avg = m.average_rate(SimTime::from_secs(2.0));
+/// assert!((avg.gbps() - 0.08).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    delivered: Bytes,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with nothing delivered.
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Accounts `bytes` as having left the fabric.
+    pub fn deliver(&mut self, bytes: Bytes) {
+        self.delivered += bytes;
+    }
+
+    /// Total bytes delivered so far.
+    pub fn delivered(&self) -> Bytes {
+        self.delivered
+    }
+
+    /// Average delivery rate over an elapsed duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero or infinite.
+    pub fn average_rate(&self, elapsed: SimTime) -> Rate {
+        assert!(
+            elapsed > SimTime::ZERO && !elapsed.is_infinite(),
+            "elapsed must be positive and finite"
+        );
+        Rate::from_bytes_per_sec(self.delivered.as_f64() / elapsed.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.delivered(), Bytes::ZERO);
+        m.deliver(Bytes::new(100));
+        m.deliver(Bytes::new(150));
+        assert_eq!(m.delivered(), Bytes::new(250));
+    }
+
+    #[test]
+    fn average_rate_math() {
+        let mut m = ThroughputMeter::new();
+        m.deliver(Bytes::from_gb(1));
+        let r = m.average_rate(SimTime::from_secs(1.0));
+        assert!((r.gbps() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_elapsed_panics() {
+        let m = ThroughputMeter::new();
+        let _ = m.average_rate(SimTime::ZERO);
+    }
+}

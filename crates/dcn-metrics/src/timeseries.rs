@@ -1,0 +1,231 @@
+//! Sampled time series (queue lengths, cumulative throughput).
+
+use serde::{Deserialize, Serialize};
+
+/// A time series of `(time_secs, value)` samples with non-decreasing times.
+///
+/// Used for the queue-length and cumulative-throughput traces of the
+/// paper's Figs. 2, 5 and 7, and as the input to stability classification.
+///
+/// # Example
+///
+/// ```
+/// use dcn_metrics::TimeSeries;
+/// let mut ts = TimeSeries::new();
+/// ts.push(0.0, 1.0);
+/// ts.push(1.0, 3.0);
+/// ts.push(2.0, 5.0);
+/// assert_eq!(ts.len(), 3);
+/// assert!((ts.slope().unwrap() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are NaN or if `time_secs` precedes the last sample.
+    pub fn push(&mut self, time_secs: f64, value: f64) {
+        assert!(!time_secs.is_nan() && !value.is_nan(), "NaN sample");
+        if let Some(&last) = self.times.last() {
+            assert!(
+                time_secs >= last,
+                "samples must be time-ordered: {time_secs} < {last}"
+            );
+        }
+        self.times.push(time_secs);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The last value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// The largest value, if any.
+    pub fn max_value(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Mean of all values; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Least-squares slope of value against time, in value-units per
+    /// second; `None` with fewer than two samples or zero time spread.
+    pub fn slope(&self) -> Option<f64> {
+        if self.len() < 2 {
+            return None;
+        }
+        let n = self.len() as f64;
+        let mean_t = self.times.iter().sum::<f64>() / n;
+        let mean_v = self.values.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (t, v) in self.times.iter().zip(&self.values) {
+            cov += (t - mean_t) * (v - mean_v);
+            var += (t - mean_t) * (t - mean_t);
+        }
+        if var == 0.0 {
+            None
+        } else {
+            Some(cov / var)
+        }
+    }
+
+    /// The suffix of the series starting at fraction `from` of its time
+    /// span (e.g. `0.5` = second half). Used to judge long-run trends while
+    /// ignoring the warm-up transient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not within `[0, 1]`.
+    pub fn tail(&self, from: f64) -> TimeSeries {
+        assert!((0.0..=1.0).contains(&from), "fraction must be in [0,1]");
+        if self.is_empty() {
+            return TimeSeries::new();
+        }
+        let t0 = self.times[0];
+        let t1 = *self.times.last().expect("non-empty");
+        let cut = t0 + (t1 - t0) * from;
+        let start = self.times.partition_point(|&t| t < cut);
+        TimeSeries {
+            times: self.times[start..].to_vec(),
+            values: self.values[start..].to_vec(),
+        }
+    }
+
+    /// Downsamples to at most `max_points` evenly spaced samples (for
+    /// printing series in the bench harness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_points` is zero.
+    pub fn downsample(&self, max_points: usize) -> TimeSeries {
+        assert!(max_points > 0, "max_points must be positive");
+        if self.len() <= max_points {
+            return self.clone();
+        }
+        let mut out = TimeSeries::new();
+        for i in 0..max_points {
+            let idx = i * (self.len() - 1) / (max_points - 1).max(1);
+            out.push(self.times[idx], self.values[idx]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(n: usize, a: f64, b: f64) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for i in 0..n {
+            let t = i as f64;
+            ts.push(t, a * t + b);
+        }
+        ts
+    }
+
+    #[test]
+    fn slope_recovers_linear_trend() {
+        let ts = linear(100, 3.5, -2.0);
+        assert!((ts.slope().unwrap() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_flat_series_is_zero() {
+        let ts = linear(50, 0.0, 7.0);
+        assert!(ts.slope().unwrap().abs() < 1e-12);
+        assert_eq!(ts.mean(), Some(7.0));
+        assert_eq!(ts.max_value(), Some(7.0));
+        assert_eq!(ts.last_value(), Some(7.0));
+    }
+
+    #[test]
+    fn insufficient_samples_give_none() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.slope().is_none());
+        assert!(ts.mean().is_none());
+        assert!(ts.max_value().is_none());
+        ts.push(1.0, 2.0);
+        assert!(ts.slope().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(2.0, 1.0);
+        ts.push(1.0, 1.0);
+    }
+
+    #[test]
+    fn tail_selects_suffix() {
+        let ts = linear(10, 1.0, 0.0);
+        let tail = ts.tail(0.5);
+        assert_eq!(tail.len(), 5); // times 4.5..9 -> samples at 5..9... partition on 4.5
+        assert_eq!(tail.times()[0], 5.0);
+        assert!(ts.tail(0.0).len() == 10);
+        assert!(ts.tail(1.0).len() == 1);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let ts = linear(1000, 2.0, 1.0);
+        let d = ts.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.times()[0], 0.0);
+        assert_eq!(*d.times().last().unwrap(), 999.0);
+        // Small series pass through unchanged.
+        assert_eq!(ts.downsample(5000), ts);
+    }
+
+    #[test]
+    fn equal_times_are_allowed() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 1.0);
+        ts.push(1.0, 2.0);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.slope().is_none()); // zero time variance
+    }
+}

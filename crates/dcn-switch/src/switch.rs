@@ -1,0 +1,405 @@
+//! The slotted switch and its simulation driver.
+
+use crate::arrivals::SlotArrivals;
+use basrpt_core::{FlowState, FlowTable, Scheduler};
+use dcn_metrics::TimeSeries;
+use dcn_types::{FlowId, Slot, Voq};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A flow that finished transferring in the slotted model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedFlow {
+    /// The flow's identifier.
+    pub id: FlowId,
+    /// Its VOQ.
+    pub voq: Voq,
+    /// Original size in packets.
+    pub size: u64,
+    /// First slot in which the flow was eligible to transmit (arrivals land
+    /// at the end of a slot, so an arrival during slot `t` has
+    /// `arrival = t + 1`; flows injected before the run have `arrival = 0`).
+    pub arrival: Slot,
+    /// Slot during which the final packet was transmitted.
+    pub completion: Slot,
+}
+
+impl CompletedFlow {
+    /// Flow completion time in slots: the flow occupies the system from the
+    /// start of `arrival` through the end of `completion`, inclusive.
+    pub fn fct_slots(&self) -> u64 {
+        self.completion.index() - self.arrival.index() + 1
+    }
+}
+
+/// What happened during a single slot.
+#[derive(Debug, Clone, Default)]
+pub struct SlotOutcome {
+    /// Packets transmitted this slot (= matched non-empty VOQs).
+    pub transmitted: u64,
+    /// Flows that completed this slot.
+    pub completions: Vec<CompletedFlow>,
+}
+
+/// The `N × N` input-queued switch with slotted time (§III-B).
+///
+/// Call [`SlottedSwitch::step`] once per slot: it asks the scheduler for a
+/// matching over the current queues, transmits one packet per matched flow,
+/// and applies end-of-slot arrivals — implementing Eq. (1) exactly
+/// (the `L_ij` rectification never fires because schedulers only match
+/// non-empty VOQs, which is the work-conserving special case).
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::Srpt;
+/// use dcn_switch::SlottedSwitch;
+/// use dcn_types::{HostId, Voq};
+///
+/// let mut sw = SlottedSwitch::new(2);
+/// sw.inject(Voq::new(HostId::new(0), HostId::new(1)), 3);
+/// let mut srpt = Srpt::new();
+/// let outcome = sw.step(&mut srpt, Vec::new());
+/// assert_eq!(outcome.transmitted, 1);
+/// assert_eq!(sw.table().total_backlog(), 2);
+/// ```
+#[derive(Debug)]
+pub struct SlottedSwitch {
+    num_ports: u32,
+    table: FlowTable,
+    now: Slot,
+    next_id: u64,
+    arrival_slots: HashMap<FlowId, Slot>,
+}
+
+impl SlottedSwitch {
+    /// Creates an empty switch with `num_ports` ingress/egress ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ports` is zero.
+    pub fn new(num_ports: u32) -> Self {
+        assert!(num_ports > 0, "switch needs at least one port");
+        SlottedSwitch {
+            num_ports,
+            table: FlowTable::new(),
+            now: Slot::ZERO,
+            next_id: 0,
+            arrival_slots: HashMap::new(),
+        }
+    }
+
+    /// Number of ports `N`.
+    pub fn num_ports(&self) -> u32 {
+        self.num_ports
+    }
+
+    /// The current slot (the one about to be executed by [`Self::step`]).
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// The active flows.
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Injects a flow of `packets` packets that is eligible to transmit in
+    /// the current slot (flows injected before the first step count their
+    /// FCT from slot 0, matching the paper's "ready at the beginning of
+    /// slot 1" convention in Fig. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VOQ's ports are outside the switch, the VOQ is a
+    /// self-loop, or `packets` is zero.
+    pub fn inject(&mut self, voq: Voq, packets: u64) -> FlowId {
+        assert!(
+            voq.src().index() < self.num_ports && voq.dst().index() < self.num_ports,
+            "{voq} outside a {0}-port switch",
+            self.num_ports
+        );
+        assert!(!voq.is_self_loop(), "self-loop {voq} not allowed");
+        let id = FlowId::new(self.next_id);
+        self.next_id += 1;
+        self.table
+            .insert(FlowState::new(id, voq, packets))
+            .expect("ids are unique by construction");
+        self.arrival_slots.insert(id, self.now);
+        id
+    }
+
+    /// Executes one slot: schedule → transmit one packet per matched flow →
+    /// apply `arrivals` at the end of the slot → advance the clock.
+    pub fn step<S: Scheduler + ?Sized>(
+        &mut self,
+        scheduler: &mut S,
+        arrivals: Vec<(Voq, u64)>,
+    ) -> SlotOutcome {
+        let schedule = scheduler.schedule(&self.table);
+        self.step_with_schedule(&schedule, arrivals)
+    }
+
+    /// Executes one slot with an externally computed schedule (used by the
+    /// driver to observe the decision, e.g. for the penalty `ȳ(t)`, without
+    /// invoking a stateful scheduler twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references flows that are not active.
+    pub fn step_with_schedule(
+        &mut self,
+        schedule: &basrpt_core::Schedule,
+        arrivals: Vec<(Voq, u64)>,
+    ) -> SlotOutcome {
+        let mut outcome = SlotOutcome::default();
+        for (id, voq) in schedule.iter() {
+            let drained = self.table.drain(id, 1).expect("scheduled flows are active");
+            debug_assert_eq!(drained.drained, 1, "matched VOQs are non-empty");
+            outcome.transmitted += 1;
+            if let Some(done) = drained.completed {
+                let arrival = self
+                    .arrival_slots
+                    .remove(&id)
+                    .expect("every active flow has an arrival slot");
+                outcome.completions.push(CompletedFlow {
+                    id,
+                    voq,
+                    size: done.size(),
+                    arrival,
+                    completion: self.now,
+                });
+            }
+        }
+        // End-of-slot arrivals become eligible in the next slot.
+        self.now = self.now.next();
+        for (voq, packets) in arrivals {
+            let id = FlowId::new(self.next_id);
+            self.next_id += 1;
+            self.table
+                .insert(FlowState::new(id, voq, packets))
+                .expect("ids are unique by construction");
+            self.arrival_slots.insert(id, self.now);
+        }
+        outcome
+    }
+}
+
+/// Configuration of a slotted simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Number of slots to execute.
+    pub slots: u64,
+    /// Sampling period (in slots) for the recorded time series.
+    pub sample_every: u64,
+}
+
+impl RunConfig {
+    /// A run of `slots` slots sampling roughly 1000 points.
+    pub fn new(slots: u64) -> Self {
+        RunConfig {
+            slots,
+            sample_every: (slots / 1000).max(1),
+        }
+    }
+}
+
+/// The measurements collected by [`run`].
+#[derive(Debug, Clone)]
+pub struct SwitchRun {
+    /// All completed flows, in completion order.
+    pub completions: Vec<CompletedFlow>,
+    /// Total packets delivered.
+    pub delivered_packets: u64,
+    /// Total backlog (packets) sampled over time (seconds = slots here; the
+    /// time axis is the slot index).
+    pub total_backlog: TimeSeries,
+    /// Backlog of the most loaded ingress port at each sample instant.
+    pub max_port_backlog: TimeSeries,
+    /// Quadratic Lyapunov function `L(X) = ½ Σ X_ij²` sampled over time.
+    pub lyapunov: TimeSeries,
+    /// Packets left in queues when the run ended.
+    pub leftover_packets: u64,
+    /// Flows left uncompleted when the run ended.
+    pub leftover_flows: usize,
+    /// Time-average of the penalty `ȳ(t)` (mean remaining size of the
+    /// scheduled flows), over slots with a non-empty schedule.
+    pub avg_penalty: f64,
+    /// Time-average total backlog `Σ_ij X_ij` over all slots.
+    pub avg_total_backlog: f64,
+}
+
+/// Runs a slotted simulation of `num_ports` ports for `config.slots` slots,
+/// feeding arrivals from `arrivals` and scheduling with `scheduler`.
+pub fn run<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized>(
+    num_ports: u32,
+    scheduler: &mut S,
+    arrivals: &mut A,
+    config: RunConfig,
+) -> SwitchRun {
+    let mut switch = SlottedSwitch::new(num_ports);
+    let mut completions = Vec::new();
+    let mut delivered = 0u64;
+    let mut total_backlog = TimeSeries::new();
+    let mut max_port_backlog = TimeSeries::new();
+    let mut lyapunov = TimeSeries::new();
+    let mut penalty_sum = 0.0;
+    let mut penalty_slots = 0u64;
+    let mut backlog_sum = 0.0;
+
+    for t in 0..config.slots {
+        let slot = Slot::new(t);
+        // Sample the pre-step state.
+        if t % config.sample_every == 0 {
+            let secs = t as f64;
+            total_backlog.push(secs, switch.table().total_backlog() as f64);
+            let max_port = (0..num_ports)
+                .map(|p| switch.table().ingress_backlog(dcn_types::HostId::new(p)))
+                .max()
+                .unwrap_or(0);
+            max_port_backlog.push(secs, max_port as f64);
+            lyapunov.push(secs, crate::lyapunov::lyapunov_value(switch.table()));
+        }
+        backlog_sum += switch.table().total_backlog() as f64;
+
+        // Penalty ȳ(t) is the mean remaining size of the scheduled flows,
+        // observed before the transmit.
+        let schedule = scheduler.schedule(switch.table());
+        if !schedule.is_empty() {
+            let total: u64 = schedule
+                .flow_ids()
+                .map(|id| switch.table().get(id).expect("scheduled flow").remaining())
+                .sum();
+            penalty_sum += total as f64 / schedule.len() as f64;
+            penalty_slots += 1;
+        }
+
+        let outcome = switch.step_with_schedule(&schedule, arrivals.poll(slot));
+        delivered += outcome.transmitted;
+        completions.extend(outcome.completions);
+    }
+
+    SwitchRun {
+        completions,
+        delivered_packets: delivered,
+        total_backlog,
+        max_port_backlog,
+        lyapunov,
+        leftover_packets: switch.table().total_backlog(),
+        leftover_flows: switch.table().len(),
+        avg_penalty: if penalty_slots > 0 {
+            penalty_sum / penalty_slots as f64
+        } else {
+            0.0
+        },
+        avg_total_backlog: backlog_sum / config.slots.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ScriptedArrivals;
+    use basrpt_core::Srpt;
+    use dcn_types::HostId;
+
+    fn voq(src: u32, dst: u32) -> Voq {
+        Voq::new(HostId::new(src), HostId::new(dst))
+    }
+
+    #[test]
+    fn single_flow_drains_one_packet_per_slot() {
+        let mut sw = SlottedSwitch::new(2);
+        sw.inject(voq(0, 1), 3);
+        let mut srpt = Srpt::new();
+        for expected in [2, 1, 0] {
+            let out = sw.step(&mut srpt, Vec::new());
+            assert_eq!(out.transmitted, 1);
+            assert_eq!(sw.table().total_backlog(), expected);
+        }
+        let out = sw.step(&mut srpt, Vec::new());
+        assert_eq!(out.transmitted, 0);
+    }
+
+    #[test]
+    fn completion_records_fct() {
+        let mut sw = SlottedSwitch::new(2);
+        sw.inject(voq(0, 1), 2);
+        let mut srpt = Srpt::new();
+        let _ = sw.step(&mut srpt, Vec::new());
+        let out = sw.step(&mut srpt, Vec::new());
+        assert_eq!(out.completions.len(), 1);
+        let done = out.completions[0];
+        assert_eq!(done.size, 2);
+        // Eligible from slot 0, finished during slot 1: FCT = 2 slots.
+        assert_eq!(done.arrival, Slot::new(0));
+        assert_eq!(done.completion, Slot::new(1));
+        assert_eq!(done.fct_slots(), 2);
+    }
+
+    #[test]
+    fn arrivals_join_at_end_of_slot() {
+        let mut sw = SlottedSwitch::new(2);
+        let mut srpt = Srpt::new();
+        // Arrival during slot 0 cannot transmit until slot 1.
+        let out = sw.step(&mut srpt, vec![(voq(0, 1), 1)]);
+        assert_eq!(out.transmitted, 0);
+        assert_eq!(sw.table().total_backlog(), 1);
+        let out = sw.step(&mut srpt, Vec::new());
+        assert_eq!(out.transmitted, 1);
+        assert_eq!(out.completions[0].fct_slots(), 1);
+    }
+
+    #[test]
+    fn crossbar_limits_one_packet_per_port() {
+        let mut sw = SlottedSwitch::new(3);
+        sw.inject(voq(0, 1), 5);
+        sw.inject(voq(0, 2), 5); // same ingress
+        sw.inject(voq(2, 1), 5); // same egress as the first
+        let mut srpt = Srpt::new();
+        let out = sw.step(&mut srpt, Vec::new());
+        // Only one of (0,1)/(0,2) and one of (0,1)/(2,1) can go; max 2 total.
+        assert!(out.transmitted <= 2);
+        assert!(out.transmitted >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn inject_rejects_out_of_range_port() {
+        let mut sw = SlottedSwitch::new(2);
+        sw.inject(voq(0, 5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn inject_rejects_self_loop() {
+        let mut sw = SlottedSwitch::new(2);
+        sw.inject(voq(1, 1), 1);
+    }
+
+    #[test]
+    fn run_delivers_everything_for_light_scripted_load() {
+        let mut arrivals = ScriptedArrivals::new(vec![
+            (0, voq(0, 1), 3),
+            (0, voq(1, 0), 2),
+            (5, voq(0, 1), 1),
+        ]);
+        let run = run(2, &mut Srpt::new(), &mut arrivals, RunConfig::new(20));
+        assert_eq!(run.delivered_packets, 6);
+        assert_eq!(run.completions.len(), 3);
+        assert_eq!(run.leftover_packets, 0);
+        assert_eq!(run.leftover_flows, 0);
+        assert!(run.avg_penalty > 0.0);
+        assert!(!run.total_backlog.is_empty());
+    }
+
+    #[test]
+    fn run_counts_leftovers() {
+        // More packets than 3 slots can carry.
+        let mut arrivals = ScriptedArrivals::new(vec![(0, voq(0, 1), 10)]);
+        let run = run(2, &mut Srpt::new(), &mut arrivals, RunConfig::new(3));
+        assert_eq!(run.delivered_packets, 2); // slots 1 and 2 (arrival at end of 0)
+        assert_eq!(run.leftover_packets, 8);
+        assert_eq!(run.leftover_flows, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Byte quantities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A non-negative quantity of bytes (flow sizes, queue backlogs, delivered
+/// volume).
+///
+/// Arithmetic is saturating on subtraction so that draining a queue below
+/// zero clamps at empty instead of wrapping — exactly the `L_ij(t)`
+/// rectification term in the paper's queue-evolution equation (1).
+///
+/// # Example
+///
+/// ```
+/// use dcn_types::Bytes;
+/// let q = Bytes::from_kb(20);
+/// assert_eq!(q.as_u64(), 20_000);
+/// assert_eq!(q - Bytes::from_mb(1), Bytes::ZERO); // saturates
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a quantity from a raw byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a quantity of `kb` kilobytes (1 KB = 1000 B, matching the
+    /// decimal convention of link rates).
+    pub const fn from_kb(kb: u64) -> Self {
+        Bytes(kb * 1_000)
+    }
+
+    /// Creates a quantity of `mb` megabytes (1 MB = 10^6 B).
+    pub const fn from_mb(mb: u64) -> Self {
+        Bytes(mb * 1_000_000)
+    }
+
+    /// Creates a quantity of `gb` gigabytes (1 GB = 10^9 B).
+    pub const fn from_gb(gb: u64) -> Self {
+        Bytes(gb * 1_000_000_000)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte count as `f64`, for rate and statistics math.
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Whether this quantity is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    pub const fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two quantities.
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// The larger of two quantities.
+    pub fn max(self, other: Bytes) -> Bytes {
+        Bytes(self.0.max(other.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    /// Saturating: clamps at [`Bytes::ZERO`].
+    fn sub(self, rhs: Bytes) -> Bytes {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Bytes {
+    fn from(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2} GB", b / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.2} MB", b / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2} KB", b / 1e3)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Bytes::from_kb(1).as_u64(), 1_000);
+        assert_eq!(Bytes::from_mb(2).as_u64(), 2_000_000);
+        assert_eq!(Bytes::from_gb(3).as_u64(), 3_000_000_000);
+        assert_eq!(Bytes::new(7).as_u64(), 7);
+        assert_eq!(Bytes::from(9u64), Bytes::new(9));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(Bytes::new(5) - Bytes::new(9), Bytes::ZERO);
+        let mut b = Bytes::new(5);
+        b -= Bytes::new(2);
+        assert_eq!(b, Bytes::new(3));
+        b -= Bytes::new(100);
+        assert_eq!(b, Bytes::ZERO);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let mut b = Bytes::new(1);
+        b += Bytes::new(2);
+        assert_eq!(b + Bytes::new(3), Bytes::new(6));
+        let total: Bytes = [Bytes::new(1), Bytes::new(2), Bytes::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Bytes::new(6));
+    }
+
+    #[test]
+    fn min_max_zero() {
+        assert_eq!(Bytes::new(4).min(Bytes::new(6)), Bytes::new(4));
+        assert_eq!(Bytes::new(4).max(Bytes::new(6)), Bytes::new(6));
+        assert!(Bytes::ZERO.is_zero());
+        assert!(!Bytes::new(1).is_zero());
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bytes::new(999).to_string(), "999 B");
+        assert_eq!(Bytes::from_kb(20).to_string(), "20.00 KB");
+        assert_eq!(Bytes::from_mb(5).to_string(), "5.00 MB");
+        assert_eq!(Bytes::from_gb(1).to_string(), "1.00 GB");
+    }
+}

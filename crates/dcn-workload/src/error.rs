@@ -1,0 +1,38 @@
+//! Workload configuration errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while validating a workload configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// An empirical CDF was malformed (empty, non-monotone, bad range, …).
+    InvalidCdf(String),
+    /// A traffic specification was inconsistent (load out of range, too few
+    /// hosts for the requested locality, …).
+    InvalidSpec(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidCdf(msg) => write!(f, "invalid flow-size CDF: {msg}"),
+            WorkloadError::InvalidSpec(msg) => write!(f, "invalid traffic spec: {msg}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = WorkloadError::InvalidCdf("empty".into());
+        assert_eq!(e.to_string(), "invalid flow-size CDF: empty");
+        let e = WorkloadError::InvalidSpec("load".into());
+        assert!(e.to_string().contains("load"));
+    }
+}

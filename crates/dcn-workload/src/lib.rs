@@ -1,0 +1,44 @@
+//! Workload generation for the BASRPT reproduction.
+//!
+//! The paper's evaluation (§V-A) drives the fabric with two flow
+//! populations derived from published data-center measurements:
+//!
+//! * **Queries** — fixed-size 20 KB flows, Poisson arrivals, destinations
+//!   uniform over all hosts (they "travel across the whole cluster");
+//! * **Background flows** — heavy-tailed sizes following the DCTCP
+//!   web-search distribution, Poisson arrivals, destinations uniform within
+//!   the source's rack (the data-mining locality of Kandula et al.).
+//!
+//! [`EmpiricalCdf`] implements inverse-transform sampling from piecewise
+//! linear flow-size CDFs with the built-in [`EmpiricalCdf::web_search`] and
+//! [`EmpiricalCdf::data_mining`] presets; [`PoissonProcess`] produces
+//! exponential inter-arrival gaps; [`TrafficSpec`] calibrates per-host
+//! arrival rates to a target load and builds a deterministic, seeded
+//! [`FlowGenerator`] that merges all hosts' arrivals in time order.
+//!
+//! # Example
+//!
+//! ```
+//! use dcn_workload::TrafficSpec;
+//!
+//! let spec = TrafficSpec::paper_default(0.6)?; // 60 % load, 144 hosts
+//! let mut gen = spec.generator(42)?;
+//! let first = gen.next().expect("generator is endless");
+//! assert!(first.size.as_u64() > 0);
+//! # Ok::<(), dcn_workload::WorkloadError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod cdf;
+mod error;
+mod pattern;
+mod scripted;
+
+pub use arrivals::PoissonProcess;
+pub use cdf::EmpiricalCdf;
+pub use error::WorkloadError;
+pub use pattern::{FlowArrival, FlowGenerator, TrafficSpec};
+pub use scripted::StarvationScript;

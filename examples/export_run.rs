@@ -1,0 +1,82 @@
+//! Export a simulation run's artifacts as CSV for external analysis
+//! (pandas, gnuplot, a spreadsheet).
+//!
+//! Runs SRPT and fast BASRPT side by side at high load and writes, for
+//! each scheme:
+//!
+//! * `<scheme>_port_backlog.csv` — the monitored port's queue trace;
+//! * `<scheme>_fct.csv` — per-class and per-size-bucket FCT summaries.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example export_run [output_dir]
+//! ```
+
+use basrpt::core::{FastBasrpt, Scheduler, Srpt};
+use basrpt::fabric::{simulate, FatTree, SimConfig};
+use basrpt::metrics::csv;
+use basrpt::types::{FlowClass, SimTime};
+use basrpt::workload::TrafficSpec;
+use std::error::Error;
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/run-export".into())
+        .into();
+    fs::create_dir_all(&out_dir)?;
+
+    let topo = FatTree::scaled(4, 4, 1)?;
+    let spec = TrafficSpec::scaled(4, 4, 0.95)?;
+    let n = topo.num_hosts() as usize;
+    let config = SimConfig::new(SimTime::from_secs(2.0));
+
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("srpt", Box::new(Srpt::new())),
+        ("fast_basrpt", Box::new(FastBasrpt::new(2500.0 / 9.0, n))),
+    ];
+
+    for (tag, mut sched) in schedulers {
+        let run = simulate(&topo, sched.as_mut(), spec.generator(42)?, config)?;
+
+        let backlog_path = out_dir.join(format!("{tag}_port_backlog.csv"));
+        let mut w = BufWriter::new(File::create(&backlog_path)?);
+        csv::write_time_series(&mut w, "port_backlog_bytes", &run.monitored_port_backlog)?;
+
+        let fct_path = out_dir.join(format!("{tag}_fct.csv"));
+        let mut w = BufWriter::new(File::create(&fct_path)?);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for class in FlowClass::ALL {
+            if let Some(s) = run.fct.summary(class) {
+                labels.push(class.label().to_string());
+                rows.push(s);
+            }
+        }
+        for (bucket, summary) in run.fct_by_size.summaries() {
+            if let Some(s) = summary {
+                labels.push(bucket.to_string());
+                rows.push(s);
+            }
+        }
+        let labeled: Vec<(&str, basrpt::metrics::FctSummary)> = labels
+            .iter()
+            .map(String::as_str)
+            .zip(rows.iter().copied())
+            .collect();
+        csv::write_fct_summaries(&mut w, &labeled)?;
+
+        println!(
+            "{tag}: wrote {} and {} ({} completions, {} delivered)",
+            backlog_path.display(),
+            fct_path.display(),
+            run.completions,
+            run.throughput.delivered()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! The paper's §II-B motivation, end to end:
+//!
+//! 1. the Fig.-1 walk-through — three flows over two bottleneck links where
+//!    SRPT strands a packet that a backlog-aware scheduler delivers;
+//! 2. a Fig.-2-style fabric run showing SRPT's per-port queue growing
+//!    without bound at a load inside capacity, while the simple threshold
+//!    backlog-aware strategy stabilizes it.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example instability_demo
+//! ```
+
+use basrpt::core::{ExactBasrpt, Scheduler, Srpt, ThresholdBacklogSrpt};
+use basrpt::fabric::{simulate, FatTree, SimConfig};
+use basrpt::metrics::TrendConfig;
+use basrpt::switch::fig1;
+use basrpt::types::SimTime;
+use basrpt::workload::TrafficSpec;
+use std::error::Error;
+
+fn part1_fig1() {
+    println!("== Part 1: the Fig. 1 example (5+1+1 packets, 2 bottlenecks) ==\n");
+    for (label, mut sched) in [
+        ("SRPT", Box::new(Srpt::new()) as Box<dyn Scheduler>),
+        (
+            "BASRPT (exact, V = 0.8)",
+            Box::new(ExactBasrpt::new(0.8)) as Box<dyn Scheduler>,
+        ),
+    ] {
+        let run = fig1::run_fig1(sched.as_mut());
+        println!(
+            "{label:24} delivered {}/{} packets in {} slots; {} stranded",
+            run.delivered_packets,
+            fig1::TOTAL_PACKETS,
+            fig1::HORIZON_SLOTS,
+            run.leftover_packets
+        );
+        for c in &run.completions {
+            println!(
+                "    {} ({} pkts, {}) finished with FCT {} slots",
+                c.id,
+                c.size,
+                c.voq,
+                c.fct_slots()
+            );
+        }
+    }
+    println!();
+}
+
+fn part2_fig2() -> Result<(), Box<dyn Error>> {
+    println!("== Part 2: queue growth at a port, ~95 % load (Fig. 2 style) ==\n");
+    let topo = FatTree::scaled(4, 4, 1)?;
+    let spec = TrafficSpec::scaled(4, 4, 0.95)?;
+    let horizon = SimTime::from_secs(8.0);
+    for (label, mut sched) in [
+        ("SRPT", Box::new(Srpt::new()) as Box<dyn Scheduler>),
+        (
+            "threshold backlog-aware (50 MB)",
+            Box::new(ThresholdBacklogSrpt::new(50_000_000)) as Box<dyn Scheduler>,
+        ),
+    ] {
+        let run = simulate(
+            &topo,
+            sched.as_mut(),
+            spec.generator(7)?,
+            SimConfig::new(horizon),
+        )?;
+        // An 8-second demo is too short for the benches' conservative
+        // stable/growing verdict; the whole-trace slope tells the story.
+        let report = run.monitored_port_stability(TrendConfig::default());
+        let slope = run.monitored_port_backlog.slope().unwrap_or(0.0);
+        println!(
+            "{label:32} port queue: {:9.1} MB, whole-run trend {:+8.1} MB/s",
+            report.last_value / 1e6,
+            slope / 1e6,
+        );
+        // A coarse sparkline of the monitored port's backlog.
+        let series = run.monitored_port_backlog.downsample(24);
+        let max = series.max_value().unwrap_or(1.0).max(1.0);
+        let bars: String = series
+            .values()
+            .iter()
+            .map(|v| {
+                const GLYPHS: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
+                GLYPHS[((v / max * 7.0).round() as usize).min(7)]
+            })
+            .collect();
+        println!("{:32} [{bars}]", "");
+    }
+    println!(
+        "\nSRPT's queue climbs for the whole window; the backlog-aware port \
+         drains back toward a bounded level.\n(8-second demo horizon — \
+         `cargo bench --bench fig2` runs the full-length version with \
+         stable/growing verdicts.)"
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    part1_fig1();
+    part2_fig2()
+}

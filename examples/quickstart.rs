@@ -1,0 +1,77 @@
+//! Quickstart: simulate a small fabric under SRPT and fast BASRPT and
+//! compare completion times, throughput and queue growth.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use basrpt::core::{FastBasrpt, Scheduler, Srpt};
+use basrpt::fabric::{simulate, FabricRun, FatTree, SimConfig};
+use basrpt::metrics::{TextTable, TrendConfig};
+use basrpt::types::{FlowClass, SimTime};
+use basrpt::workload::TrafficSpec;
+use std::error::Error;
+
+fn run_one(
+    topo: &FatTree,
+    spec: &TrafficSpec,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+) -> Result<FabricRun, Box<dyn Error>> {
+    let config = SimConfig::new(SimTime::from_secs(2.0));
+    Ok(simulate(topo, scheduler, spec.generator(seed)?, config)?)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A 32-host fabric (4 racks x 8 hosts, 2 cores) at 90 % load.
+    let topo = FatTree::scaled(4, 8, 2)?;
+    let spec = TrafficSpec::scaled(4, 8, 0.90)?;
+    let n = topo.num_hosts() as usize;
+    println!(
+        "fabric: {} hosts, {} racks, full bisection: {}\n",
+        topo.num_hosts(),
+        topo.num_racks(),
+        topo.is_full_bisection()
+    );
+
+    let schedulers: Vec<Box<dyn Scheduler>> =
+        vec![Box::new(Srpt::new()), Box::new(FastBasrpt::new(2500.0, n))];
+
+    let mut table = TextTable::new(vec![
+        "scheme".into(),
+        "query avg FCT".into(),
+        "query p99 FCT".into(),
+        "bg avg FCT".into(),
+        "throughput".into(),
+        "port queue".into(),
+    ]);
+    for mut sched in schedulers {
+        let run = run_one(&topo, &spec, sched.as_mut(), 42)?;
+        let query = run
+            .fct
+            .summary(FlowClass::Query)
+            .expect("queries completed");
+        let bg = run
+            .fct
+            .summary(FlowClass::Background)
+            .expect("background flows completed");
+        let stability = run.monitored_port_stability(TrendConfig::default());
+        table.add_row(vec![
+            sched.name().to_string(),
+            format!("{:.3} ms", query.mean_ms()),
+            format!("{:.3} ms", query.p99_ms()),
+            format!("{:.2} ms", bg.mean_ms()),
+            format!("{:.1} Gbps", run.average_throughput().gbps()),
+            format!(
+                "{} ({:.0} MB)",
+                stability.verdict,
+                stability.last_value / 1e6
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!("note: 2-second horizon — use the bench harness for full-length runs");
+    Ok(())
+}

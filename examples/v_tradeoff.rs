@@ -1,0 +1,92 @@
+//! The V knob: how fast BASRPT trades FCT against queue stability.
+//!
+//! Theorem 1 promises the FCT penalty shrinks as `B'/V` while the stable
+//! queue level grows as `O(V)`. This example sweeps V on both of the
+//! repository's substrates:
+//!
+//! 1. the slotted input-queued switch (where the theorem's quantities —
+//!    time-average penalty and backlog — are measured directly), and
+//! 2. the flow-level fabric (where the effect shows up as query FCT
+//!    falling and the queue level rising with V).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example v_tradeoff
+//! ```
+
+use basrpt::core::FastBasrpt;
+use basrpt::fabric::{simulate, FatTree, SimConfig};
+use basrpt::metrics::TextTable;
+use basrpt::switch::arrivals::BernoulliFlowArrivals;
+use basrpt::switch::{run as run_switch, RunConfig};
+use basrpt::types::{FlowClass, SimTime};
+use basrpt::workload::TrafficSpec;
+use std::error::Error;
+
+fn switch_sweep() {
+    println!("== Slotted switch (8 ports, 85 % load): penalty vs backlog ==\n");
+    let mut table = TextTable::new(vec![
+        "V".into(),
+        "avg penalty (pkts)".into(),
+        "avg total backlog (pkts)".into(),
+    ]);
+    for v in [0.0, 1.0, 4.0, 16.0, 64.0, 256.0] {
+        let mut arrivals = BernoulliFlowArrivals::uniform(8, 0.85, 5, 99).unwrap();
+        let mut sched = FastBasrpt::new(v, 8);
+        let run = run_switch(8, &mut sched, &mut arrivals, RunConfig::new(60_000));
+        table.add_row(vec![
+            format!("{v}"),
+            format!("{:.2}", run.avg_penalty),
+            format!("{:.1}", run.avg_total_backlog),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn fabric_sweep() -> Result<(), Box<dyn Error>> {
+    println!("== Flow-level fabric (16 hosts, 92 % load): FCT vs queue ==\n");
+    let topo = FatTree::scaled(4, 4, 1)?;
+    let spec = TrafficSpec::scaled(4, 4, 0.92)?;
+    let n = topo.num_hosts() as usize;
+    let mut table = TextTable::new(vec![
+        "V".into(),
+        "query avg FCT".into(),
+        "query p99 FCT".into(),
+        "bg avg FCT".into(),
+        "port queue (MB)".into(),
+        "thpt (Gbps)".into(),
+    ]);
+    for v in [500.0, 1000.0, 2500.0, 5000.0, 10000.0] {
+        let mut sched = FastBasrpt::new(v, n);
+        let run = simulate(
+            &topo,
+            &mut sched,
+            spec.generator(7)?,
+            SimConfig::new(SimTime::from_secs(3.0)),
+        )?;
+        let q = run.fct.summary(FlowClass::Query).expect("queries finish");
+        let b = run
+            .fct
+            .summary(FlowClass::Background)
+            .expect("background finishes");
+        table.add_row(vec![
+            format!("{v}"),
+            format!("{:.3} ms", q.mean_ms()),
+            format!("{:.3} ms", q.p99_ms()),
+            format!("{:.2} ms", b.mean_ms()),
+            format!(
+                "{:.0}",
+                run.monitored_port_backlog.last_value().unwrap_or(0.0) / 1e6
+            ),
+            format!("{:.1}", run.average_throughput().gbps()),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    switch_sweep();
+    fabric_sweep()
+}

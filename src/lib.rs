@@ -1,0 +1,86 @@
+//! # basrpt — Backlog-Aware SRPT Flow Scheduling in Data Center Networks
+//!
+//! A from-scratch Rust reproduction of *"Backlog-Aware SRPT Flow Scheduling
+//! in Data Center Networks"* (Zhang, Ren, Shu — ICDCS 2016): the BASRPT /
+//! fast BASRPT schedulers, the SRPT discipline they repair, the slotted
+//! input-queued switch model the theory is stated on, an event-driven
+//! flow-level fat-tree fabric simulator, the measured traffic pattern, and
+//! the metrics pipeline that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! roof so applications can depend on a single name.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`types`] | `dcn-types` | ids and units (hosts, VOQs, bytes, rates, times) |
+//! | [`core`] | `basrpt-core` | the schedulers ([`Srpt`], [`FastBasrpt`], [`ExactBasrpt`], …) |
+//! | [`switch`] | `dcn-switch` | slotted switch model, Lyapunov tools, Fig. 1 scenario |
+//! | [`fabric`] | `dcn-fabric` | event-driven flow-level fat-tree simulator |
+//! | [`workload`] | `dcn-workload` | empirical CDFs and the paper's traffic pattern |
+//! | [`metrics`] | `dcn-metrics` | FCT/throughput/stability analysis |
+//!
+//! # Quickstart
+//!
+//! Compare SRPT against fast BASRPT on a small fabric at high load:
+//!
+//! ```
+//! use basrpt::core::{FastBasrpt, Scheduler, Srpt};
+//! use basrpt::fabric::{simulate, FatTree, SimConfig};
+//! use basrpt::types::SimTime;
+//! use basrpt::workload::TrafficSpec;
+//!
+//! let topo = FatTree::scaled(2, 4, 1)?;
+//! let spec = TrafficSpec::scaled(2, 4, 0.9)?;
+//! let config = SimConfig::new(SimTime::from_secs(0.2));
+//!
+//! let srpt = simulate(&topo, &mut Srpt::new(), spec.generator(1)?, config)?;
+//! let mut fb = FastBasrpt::new(2500.0, topo.num_hosts() as usize);
+//! let basrpt = simulate(&topo, &mut fb, spec.generator(1)?, config)?;
+//!
+//! println!(
+//!     "SRPT delivered {} vs fast BASRPT {}",
+//!     srpt.throughput.delivered(),
+//!     basrpt.throughput.delivered()
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The scheduling disciplines (re-export of `basrpt-core`).
+pub mod core {
+    pub use basrpt_core::*;
+}
+
+/// Shared identifiers and units (re-export of `dcn-types`).
+pub mod types {
+    pub use dcn_types::*;
+}
+
+/// The slotted input-queued switch model (re-export of `dcn-switch`).
+pub mod switch {
+    pub use dcn_switch::*;
+}
+
+/// The flow-level fabric simulator (re-export of `dcn-fabric`).
+pub mod fabric {
+    pub use dcn_fabric::*;
+}
+
+/// Workload generation (re-export of `dcn-workload`).
+pub mod workload {
+    pub use dcn_workload::*;
+}
+
+/// Metrics and analysis (re-export of `dcn-metrics`).
+pub mod metrics {
+    pub use dcn_metrics::*;
+}
+
+pub use basrpt_core::{
+    ExactBasrpt, FastBasrpt, Fifo, MaxWeight, PenaltyKind, RoundRobin, Scheduler, Srpt,
+    ThresholdBacklogSrpt,
+};
+pub use dcn_types::{Bytes, FlowClass, FlowId, HostId, RackId, Rate, SimTime, Slot, Voq};

@@ -1,0 +1,109 @@
+//! Integration test: end-to-end conservation and determinism of the whole
+//! pipeline (workload generator → fabric engine → metrics) under every
+//! discipline.
+
+use basrpt::core::{
+    FastBasrpt, Fifo, MaxWeight, RoundRobin, Scheduler, Srpt, ThresholdBacklogSrpt,
+};
+use basrpt::fabric::{simulate, FabricRun, FatTree, SimConfig};
+use basrpt::types::{Bytes, SimTime};
+use basrpt::workload::TrafficSpec;
+
+fn schedulers(n: usize) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Srpt::new()),
+        Box::new(FastBasrpt::new(2500.0, n)),
+        Box::new(FastBasrpt::new(0.0, n)),
+        Box::new(MaxWeight::new()),
+        Box::new(Fifo::new()),
+        Box::new(RoundRobin::new()),
+        Box::new(ThresholdBacklogSrpt::new(10_000_000)),
+    ]
+}
+
+fn run(sched: &mut dyn Scheduler, seed: u64, load: f64) -> FabricRun {
+    let topo = FatTree::scaled(2, 4, 1).expect("valid");
+    let spec = TrafficSpec::scaled(2, 4, load).expect("valid");
+    simulate(
+        &topo,
+        sched,
+        spec.generator(seed).expect("valid"),
+        SimConfig::new(SimTime::from_secs(0.2)),
+    )
+    .expect("valid simulation")
+}
+
+#[test]
+fn bytes_are_conserved_under_every_discipline() {
+    for mut sched in schedulers(8) {
+        for seed in [1, 2] {
+            let r = run(sched.as_mut(), seed, 0.9);
+            assert_eq!(
+                r.arrived_bytes,
+                r.throughput.delivered() + r.leftover_bytes,
+                "{} seed {seed}: arrived != delivered + leftover",
+                sched.name()
+            );
+            assert_eq!(
+                r.completions + r.leftover_flows,
+                r.arrivals,
+                "{} seed {seed}: flow count mismatch",
+                sched.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fct_is_bounded_below_by_line_rate() {
+    for mut sched in schedulers(8) {
+        let r = run(sched.as_mut(), 3, 0.7);
+        // No flow can beat its size / edge-rate transfer time. The smallest
+        // flows are the 20 KB queries: 16 us at 10 Gbps.
+        if let Some(s) = r.fct.summary(basrpt::FlowClass::Query) {
+            assert!(
+                s.p50_secs >= 20_000.0 / 1.25e9 - 1e-12,
+                "{}: median query FCT {} below line rate",
+                sched.name(),
+                s.p50_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    // Two fresh schedulers of the same kind on the same seed must produce
+    // byte-identical outcomes.
+    let (a, b) = (schedulers(8), schedulers(8));
+    for (mut sa, mut sb) in a.into_iter().zip(b) {
+        let ra = run(sa.as_mut(), 42, 0.9);
+        let rb = run(sb.as_mut(), 42, 0.9);
+        assert_eq!(ra.arrivals, rb.arrivals, "{}", sa.name());
+        assert_eq!(
+            ra.throughput.delivered(),
+            rb.throughput.delivered(),
+            "{}",
+            sa.name()
+        );
+        assert_eq!(ra.completions, rb.completions, "{}", sa.name());
+        assert_eq!(ra.leftover_bytes, rb.leftover_bytes, "{}", sa.name());
+    }
+}
+
+#[test]
+fn light_load_leaves_nothing_behind() {
+    // At 20 % load over 0.2 s every discipline should deliver nearly all
+    // bytes (only the most recent arrivals are still in flight).
+    for mut sched in schedulers(8) {
+        let r = run(sched.as_mut(), 5, 0.2);
+        let frac_left = r.leftover_bytes.as_f64() / r.arrived_bytes.as_f64().max(1.0);
+        assert!(
+            frac_left < 0.2,
+            "{} left {:.1}% of bytes at 20% load",
+            sched.name(),
+            frac_left * 100.0
+        );
+        assert!(r.throughput.delivered() > Bytes::ZERO);
+    }
+}

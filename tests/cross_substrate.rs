@@ -1,0 +1,97 @@
+//! Integration test: the two substrates (slotted switch, flow-level
+//! fabric) agree on the schedulers' limiting behaviours.
+
+use basrpt::core::{FastBasrpt, Srpt};
+use basrpt::fabric::{simulate, FatTree, SimConfig};
+use basrpt::switch::arrivals::BernoulliFlowArrivals;
+use basrpt::switch::{run as run_switch, RunConfig};
+use basrpt::types::SimTime;
+use basrpt::workload::TrafficSpec;
+
+/// With V large enough that the size term dominates any backlog, fast
+/// BASRPT's decisions match SRPT's except on remaining-size *ties* (all
+/// queries share the 20 KB size), where the two disciplines legitimately
+/// tie-break differently at any finite V. Aggregates must agree closely.
+#[test]
+fn fabric_fast_basrpt_huge_v_equals_srpt() {
+    let topo = FatTree::scaled(2, 4, 1).unwrap();
+    let spec = TrafficSpec::scaled(2, 4, 0.85).unwrap();
+    let config = SimConfig::new(SimTime::from_secs(0.2));
+
+    let srpt = simulate(&topo, &mut Srpt::new(), spec.generator(9).unwrap(), config).unwrap();
+    let mut fb = FastBasrpt::new(1e15, 8);
+    let fast = simulate(&topo, &mut fb, spec.generator(9).unwrap(), config).unwrap();
+
+    assert_eq!(srpt.arrivals, fast.arrivals);
+    let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
+    assert!(
+        rel(fast.completions as f64, srpt.completions as f64) < 0.01,
+        "completions {} vs {}",
+        fast.completions,
+        srpt.completions
+    );
+    assert!(
+        rel(
+            fast.throughput.delivered().as_f64(),
+            srpt.throughput.delivered().as_f64()
+        ) < 0.01,
+        "delivered {} vs {}",
+        fast.throughput.delivered(),
+        srpt.throughput.delivered()
+    );
+}
+
+/// The same equivalence on the slotted switch: packet-size ties exist, but
+/// delivered totals still match because tie-breaks only permute equals...
+/// they can differ, so compare aggregate service: delivered packets per
+/// run must be within a whisker.
+#[test]
+fn switch_fast_basrpt_huge_v_tracks_srpt() {
+    let mut a1 = BernoulliFlowArrivals::uniform(6, 0.7, 4, 21).unwrap();
+    let mut a2 = BernoulliFlowArrivals::uniform(6, 0.7, 4, 21).unwrap();
+    let r1 = run_switch(6, &mut Srpt::new(), &mut a1, RunConfig::new(20_000));
+    let mut fb = FastBasrpt::new(1e12, 6);
+    let r2 = run_switch(6, &mut fb, &mut a2, RunConfig::new(20_000));
+    let diff = (r1.delivered_packets as f64 - r2.delivered_packets as f64).abs();
+    assert!(
+        diff / (r1.delivered_packets as f64) < 0.01,
+        "delivered {} vs {}",
+        r1.delivered_packets,
+        r2.delivered_packets
+    );
+}
+
+/// Both substrates see the same qualitative V-effect: moving V from huge to
+/// small increases the served backlog share (stability pressure) on the
+/// switch and decreases leftover bytes on the fabric at saturation.
+#[test]
+fn v_effect_is_consistent_across_substrates() {
+    // Fabric at high load: smaller V leaves less behind.
+    let topo = FatTree::scaled(2, 4, 1).unwrap();
+    let spec = TrafficSpec::scaled(2, 4, 0.95).unwrap();
+    let config = SimConfig::new(SimTime::from_secs(0.4));
+    let mut small_v = FastBasrpt::new(50.0, 8);
+    let mut large_v = FastBasrpt::new(1e9, 8);
+    let small = simulate(&topo, &mut small_v, spec.generator(4).unwrap(), config).unwrap();
+    let large = simulate(&topo, &mut large_v, spec.generator(4).unwrap(), config).unwrap();
+    assert!(
+        small.leftover_bytes <= large.leftover_bytes,
+        "small V should not strand more: {} vs {}",
+        small.leftover_bytes,
+        large.leftover_bytes
+    );
+
+    // Switch at high load: smaller V yields at least the packet throughput.
+    let mut a1 = BernoulliFlowArrivals::uniform(6, 0.9, 4, 5).unwrap();
+    let mut a2 = BernoulliFlowArrivals::uniform(6, 0.9, 4, 5).unwrap();
+    let mut sv = FastBasrpt::new(0.5, 6);
+    let mut lv = FastBasrpt::new(1e9, 6);
+    let rs = run_switch(6, &mut sv, &mut a1, RunConfig::new(30_000));
+    let rl = run_switch(6, &mut lv, &mut a2, RunConfig::new(30_000));
+    assert!(
+        rs.leftover_packets as f64 <= rl.leftover_packets as f64 * 1.05 + 50.0,
+        "switch: small V leftover {} vs large V {}",
+        rs.leftover_packets,
+        rl.leftover_packets
+    );
+}

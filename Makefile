@@ -1,0 +1,26 @@
+# Developer entry points. `make verify` is the tier-1 gate from ROADMAP.md.
+
+.PHONY: verify test bench-smoke docs clean
+
+# Tier-1: release build + the root package's quiet test run.
+verify:
+	cargo build --release
+	cargo test -q
+
+# The full workspace test suite (unit + integration + property + doctests).
+test:
+	cargo test --workspace
+
+# One quick pass over the headline experiments at smoke scale.
+bench-smoke:
+	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fig2
+	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fig5
+	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench table1
+	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench sched_overhead
+
+# API docs for the workspace crates; warning-free is enforced in review.
+docs:
+	cargo doc --no-deps
+
+clean:
+	cargo clean

@@ -28,6 +28,14 @@
 //! | [`Fifo`] | baseline | arrival order |
 //! | [`RoundRobin`] | fair-share baseline | least recently served VOQ |
 //!
+//! # Incremental scheduling
+//!
+//! The stateless disciplines above also implement [`VoqDiscipline`] and can
+//! be wrapped in an [`IncrementalScheduler`], which keeps the ranked
+//! candidate set alive across decisions and re-keys only the VOQs each
+//! table event touched — same schedules, bit for bit, at a fraction of the
+//! per-event cost (see the [`incremental`] module).
+//!
 //! # Example
 //!
 //! ```
@@ -48,10 +56,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod disciplines;
 mod flow;
+pub mod incremental;
 pub mod reference;
 mod schedule;
 mod scheduler;
@@ -62,6 +71,7 @@ pub use disciplines::{
     ThresholdBacklogSrpt,
 };
 pub use flow::FlowState;
+pub use incremental::{check_equivalence, F64Key, IncrementalScheduler, VoqDiscipline};
 pub use schedule::{Schedule, ScheduleError};
 pub use scheduler::{check_maximal, greedy_by_key, Candidate, Scheduler};
 pub use table::{DrainOutcome, FlowTable, FlowTableError, VoqView};

@@ -5,6 +5,14 @@ use dcn_types::{FlowId, HostId, Voq};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of process-unique table identities (see [`FlowTable::table_id`]).
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_table_id() -> u64 {
+    NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Error returned by [`FlowTable`] operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,12 +103,52 @@ struct VoqIndex {
 /// assert_eq!(table.voq_backlog(voq), 5);
 /// # Ok::<(), basrpt_core::FlowTableError>(())
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct FlowTable {
     flows: HashMap<FlowId, FlowState>,
     voqs: BTreeMap<Voq, VoqIndex>,
     ingress: BTreeMap<HostId, u64>,
     total_backlog: u64,
+    /// Process-unique identity; fresh for every constructed or cloned table
+    /// so change-log consumers never confuse two tables' logs.
+    table_id: u64,
+    /// VOQs touched by mutations since position `log_base`, oldest first;
+    /// see [`FlowTable::changes_since`].
+    change_log: Vec<Voq>,
+    /// Absolute change-log position of `change_log[0]`. Advances when the
+    /// log is compacted, invalidating older cursors.
+    log_base: u64,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        FlowTable {
+            flows: HashMap::new(),
+            voqs: BTreeMap::new(),
+            ingress: BTreeMap::new(),
+            total_backlog: 0,
+            table_id: fresh_table_id(),
+            change_log: Vec::new(),
+            log_base: 0,
+        }
+    }
+}
+
+impl Clone for FlowTable {
+    /// Clones the flow contents. The clone gets a **fresh identity** and an
+    /// empty change log: incremental consumers synced to the original will
+    /// fully rebuild against the clone instead of mis-applying its log.
+    fn clone(&self) -> Self {
+        FlowTable {
+            flows: self.flows.clone(),
+            voqs: self.voqs.clone(),
+            ingress: self.ingress.clone(),
+            total_backlog: self.total_backlog,
+            table_id: fresh_table_id(),
+            change_log: Vec::new(),
+            log_base: 0,
+        }
+    }
 }
 
 impl FlowTable {
@@ -152,6 +200,14 @@ impl FlowTable {
         self.ingress.values().copied().max().unwrap_or(0)
     }
 
+    /// Number of ingress ports with non-zero backlog. Every non-empty VOQ's
+    /// source is one of them, so a crossbar matching that occupies this many
+    /// ingress ports cannot be extended — schedulers use that as an early
+    /// exit.
+    pub fn num_active_ingress_ports(&self) -> usize {
+        self.ingress.len()
+    }
+
     /// Looks up an active flow.
     pub fn get(&self, id: FlowId) -> Option<&FlowState> {
         self.flows.get(&id)
@@ -166,21 +222,73 @@ impl FlowTable {
     /// Iterates over all non-empty VOQs in deterministic (lexicographic)
     /// order, yielding the per-VOQ summaries schedulers rank.
     pub fn voqs(&self) -> impl Iterator<Item = VoqView> + '_ {
-        self.voqs.iter().map(|(&voq, idx)| {
-            let &(shortest_remaining, shortest_flow) = idx
-                .by_remaining
-                .first()
-                .expect("non-empty VOQ invariant violated");
-            let &oldest_flow = idx.by_id.first().expect("non-empty VOQ invariant violated");
-            VoqView {
-                voq,
-                backlog: idx.backlog,
-                shortest_remaining,
-                shortest_flow,
-                oldest_flow,
-                len: idx.by_id.len(),
-            }
-        })
+        self.voqs.iter().map(|(&voq, idx)| Self::view_of(voq, idx))
+    }
+
+    /// The summary of one VOQ, or `None` if the VOQ is currently empty.
+    /// `O(log Q)` — the single-VOQ counterpart of [`FlowTable::voqs`] used
+    /// by incremental schedulers to refresh only the queues that changed.
+    pub fn voq_view(&self, voq: Voq) -> Option<VoqView> {
+        self.voqs.get(&voq).map(|idx| Self::view_of(voq, idx))
+    }
+
+    fn view_of(voq: Voq, idx: &VoqIndex) -> VoqView {
+        let &(shortest_remaining, shortest_flow) = idx
+            .by_remaining
+            .first()
+            .expect("non-empty VOQ invariant violated");
+        let &oldest_flow = idx.by_id.first().expect("non-empty VOQ invariant violated");
+        VoqView {
+            voq,
+            backlog: idx.backlog,
+            shortest_remaining,
+            shortest_flow,
+            oldest_flow,
+            len: idx.by_id.len(),
+        }
+    }
+
+    /// The process-unique identity of this table instance. Every
+    /// construction — including [`Clone::clone`] — yields a new identity, so
+    /// a consumer holding a `(table_id, change-log position)` cursor can
+    /// detect that it is looking at a different table and resynchronize
+    /// from scratch.
+    pub fn table_id(&self) -> u64 {
+        self.table_id
+    }
+
+    /// The absolute change-log position one past the most recent change.
+    /// Monotonically non-decreasing over the table's lifetime; a consumer
+    /// that has applied every change up to this position is fully synced.
+    pub fn change_log_end(&self) -> u64 {
+        self.log_base + self.change_log.len() as u64
+    }
+
+    /// The VOQs mutated at or after absolute log position `pos`, oldest
+    /// first, or `None` if the log no longer reaches back that far (it is
+    /// periodically compacted) — the consumer must then rebuild from
+    /// [`FlowTable::voqs`]. A VOQ may appear more than once; reprocessing
+    /// is idempotent for consumers that re-read the VOQ's current state.
+    pub fn changes_since(&self, pos: u64) -> Option<&[Voq]> {
+        if pos < self.log_base {
+            return None;
+        }
+        let idx = usize::try_from(pos - self.log_base).ok()?;
+        self.change_log.get(idx..)
+    }
+
+    /// Appends `voq` to the change log, compacting — dropping the whole
+    /// log and advancing `log_base` — once it outgrows a small multiple of
+    /// the live VOQ count. Repeats are *not* collapsed: a consumer may
+    /// already have consumed up to the previous entry, so suppressing a
+    /// duplicate would lose the change for it.
+    fn record_change(&mut self, voq: Voq) {
+        self.change_log.push(voq);
+        let cap = usize::max(1024, 8 * self.voqs.len());
+        if self.change_log.len() > cap {
+            self.log_base += self.change_log.len() as u64;
+            self.change_log.clear();
+        }
     }
 
     /// Inserts a newly arrived flow.
@@ -198,6 +306,7 @@ impl FlowTable {
         idx.backlog += flow.remaining();
         *self.ingress.entry(flow.voq().src()).or_insert(0) += flow.remaining();
         self.total_backlog += flow.remaining();
+        self.record_change(flow.voq());
         self.flows.insert(flow.id(), flow);
         Ok(())
     }
@@ -254,12 +363,14 @@ impl FlowTable {
                 self.ingress.remove(&flow.voq().src());
             }
             self.flows.remove(&id);
+            self.record_change(flow.voq());
             Ok(DrainOutcome {
                 drained,
                 completed: Some(flow),
             })
         } else {
             idx.by_remaining.insert((after, id));
+            self.record_change(flow.voq());
             Ok(DrainOutcome {
                 drained,
                 completed: None,
@@ -287,6 +398,7 @@ impl FlowTable {
             self.ingress.remove(&flow.voq().src());
         }
         self.total_backlog -= flow.remaining();
+        self.record_change(flow.voq());
     }
 
     /// Checks every structural invariant, returning a description of the
@@ -438,6 +550,57 @@ mod tests {
         t.insert(flow(3, 1, 4, 7)).unwrap();
         let voqs: Vec<Voq> = t.voqs().map(|v| v.voq).collect();
         assert_eq!(voqs, vec![voq(0, 9), voq(1, 4), voq(2, 0)]);
+    }
+
+    #[test]
+    fn change_log_records_every_mutation() {
+        let mut t = FlowTable::new();
+        let start = t.change_log_end();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        t.insert(flow(2, 0, 1, 3)).unwrap();
+        t.drain(FlowId::new(1), 2).unwrap();
+        t.remove(FlowId::new(2)).unwrap();
+        let changes = t.changes_since(start).unwrap();
+        assert_eq!(changes, [voq(0, 1); 4]);
+        assert_eq!(t.change_log_end(), start + 4);
+        // A fully caught-up consumer sees an empty suffix.
+        assert_eq!(t.changes_since(t.change_log_end()), Some(&[][..]));
+        // Positions beyond the end never existed.
+        assert_eq!(t.changes_since(t.change_log_end() + 1), None);
+    }
+
+    #[test]
+    fn change_log_compaction_invalidates_old_cursors() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5_000)).unwrap();
+        let start = t.change_log_end();
+        for _ in 0..2_000 {
+            t.drain(FlowId::new(1), 1).unwrap();
+        }
+        assert!(t.changes_since(start).is_none(), "log should have compacted");
+        assert!(t.change_log_end() >= start + 2_000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clone_gets_fresh_identity_and_empty_log() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        let copy = t.clone();
+        assert_ne!(t.table_id(), copy.table_id());
+        assert_eq!(copy.changes_since(0), Some(&[][..]));
+        assert_eq!(copy.total_backlog(), 5);
+        copy.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn voq_view_matches_iterator() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5)).unwrap();
+        t.insert(flow(2, 0, 1, 3)).unwrap();
+        let from_iter = t.voqs().next().unwrap();
+        assert_eq!(t.voq_view(voq(0, 1)), Some(from_iter));
+        assert_eq!(t.voq_view(voq(3, 4)), None);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the scheduling core.
 
 use basrpt_core::{
-    check_maximal, ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, MaxWeight, RoundRobin,
-    Scheduler, Srpt, ThresholdBacklogSrpt,
+    check_equivalence, check_maximal, ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable,
+    IncrementalScheduler, MaxWeight, RoundRobin, Scheduler, Srpt, ThresholdBacklogSrpt,
 };
 use dcn_types::{FlowId, HostId, Voq};
 use proptest::prelude::*;
@@ -166,6 +166,76 @@ proptest! {
             .collect();
         let opt_fb: Vec<_> = FastBasrpt::new(v, 6).schedule(&table).flow_ids().collect();
         prop_assert_eq!(lit_fb, opt_fb);
+    }
+
+    /// Incremental schedulers stay **bit-identical** to their one-pass
+    /// twins across random arrival/drain/removal traces, for every
+    /// discipline that implements `VoqDiscipline`. The incremental state is
+    /// carried across the whole trace (that is the point), while one-pass
+    /// schedulers are stateless.
+    #[test]
+    fn incremental_matches_one_pass_on_traces(
+        flows in prop::collection::vec(arb_flow(6), 0..16),
+        ops in prop::collection::vec((0usize..4, arb_flow(6), 1u64..600), 0..50),
+    ) {
+        let mut table = build_table(&flows);
+        let mut live: Vec<u64> = (0..flows.len() as u64).collect();
+        let mut next_id = flows.len() as u64;
+
+        let mut inc_srpt = IncrementalScheduler::new(Srpt::new());
+        let mut inc_fb = IncrementalScheduler::new(FastBasrpt::new(2500.0, 6));
+        let mut inc_mw = IncrementalScheduler::new(MaxWeight::new());
+        let mut inc_fifo = IncrementalScheduler::new(Fifo::new());
+        let mut inc_thr = IncrementalScheduler::new(ThresholdBacklogSrpt::new(100));
+
+        macro_rules! check_all {
+            () => {
+                check_equivalence(&mut inc_srpt, &mut Srpt::new(), &table)
+                    .map_err(TestCaseError::fail)?;
+                check_equivalence(&mut inc_fb, &mut FastBasrpt::new(2500.0, 6), &table)
+                    .map_err(TestCaseError::fail)?;
+                check_equivalence(&mut inc_mw, &mut MaxWeight::new(), &table)
+                    .map_err(TestCaseError::fail)?;
+                check_equivalence(&mut inc_fifo, &mut Fifo::new(), &table)
+                    .map_err(TestCaseError::fail)?;
+                check_equivalence(&mut inc_thr, &mut ThresholdBacklogSrpt::new(100), &table)
+                    .map_err(TestCaseError::fail)?;
+            };
+        }
+
+        check_all!();
+        for (op, f, units) in ops {
+            match op {
+                // Bias towards arrivals so queues build up.
+                0 | 1 => {
+                    table
+                        .insert(FlowState::new(
+                            FlowId::new(next_id),
+                            Voq::new(HostId::new(f.src), HostId::new(f.dst)),
+                            f.size,
+                        ))
+                        .expect("fresh ids never collide");
+                    live.push(next_id);
+                    next_id += 1;
+                }
+                2 if !live.is_empty() => {
+                    let pick = (units as usize) % live.len();
+                    let id = FlowId::new(live[pick]);
+                    let out = table.drain(id, units).expect("picked a live flow");
+                    if out.completed.is_some() {
+                        live.swap_remove(pick);
+                    }
+                }
+                3 if !live.is_empty() => {
+                    let pick = (f.size as usize) % live.len();
+                    let id = FlowId::new(live[pick]);
+                    table.remove(id).expect("picked a live flow");
+                    live.swap_remove(pick);
+                }
+                _ => {}
+            }
+            check_all!();
+        }
     }
 
     /// A schedule never assigns two flows to one port in either direction

@@ -10,12 +10,15 @@
 //!    SRPT's growth rate is analytically ~97 MB/s, removing any doubt that
 //!    part 1's growth is a transient.
 
-use basrpt_bench::{run_fabric, Scale};
+use basrpt_bench::{run_fabric, run_seeds, seeds_from_env, Scale, SeedStats};
 use basrpt_core::{Scheduler, Srpt, ThresholdBacklogSrpt};
 use dcn_fabric::{simulate, FatTree, SimConfig};
-use dcn_metrics::{TextTable, TrendConfig};
+use dcn_metrics::{StabilityVerdict, TextTable, TrendConfig};
 use dcn_types::SimTime;
 use dcn_workload::StarvationScript;
+
+/// The seed the recorded single-run numbers were produced with.
+const DEFAULT_SEED: u64 = 1;
 
 fn print_series(label: &str, series: &dcn_metrics::TimeSeries) {
     let s = series.downsample(12);
@@ -26,6 +29,64 @@ fn print_series(label: &str, series: &dcn_metrics::TimeSeries) {
         .map(|(t, v)| format!("{t:.1}s:{:.0}MB", v / 1e6))
         .collect();
     println!("  {label:32} {}", pts.join("  "));
+}
+
+/// Multi-seed variant of part 1: verdicts counted over seeds, scalar
+/// metrics reported as `mean ± CI95`, one simulation per (scheduler, seed)
+/// fanned out across cores.
+fn part1_seed_sweep(scale: Scale, seeds: &[u64]) {
+    println!("-- part 1: measured traffic pattern at 92% load --\n");
+    let topo = scale.topology();
+    let spec = scale.spec(0.92).expect("valid load");
+    let horizon = scale.stability_horizon();
+    let threshold = 50_000_000u64;
+
+    println!(
+        "seed sweep over {} seeds {seeds:?}, {} worker threads\n",
+        seeds.len(),
+        basrpt_bench::threads_from_env().min(seeds.len())
+    );
+    let mut table = TextTable::new(vec![
+        "scheduler".into(),
+        "unstable seeds".into(),
+        "trend (MB/s)".into(),
+        "final port queue (MB)".into(),
+        "throughput (Gbps)".into(),
+        "leftover (GB)".into(),
+    ]);
+    type Mk = fn(u64) -> Box<dyn Scheduler>;
+    let rows: Vec<(&str, Mk)> = vec![
+        ("SRPT", |_| Box::new(Srpt::new())),
+        ("threshold backlog-aware SRPT", |thr| {
+            Box::new(ThresholdBacklogSrpt::new(thr))
+        }),
+    ];
+    for (label, mk) in rows {
+        let runs = run_seeds(seeds, |seed| {
+            let mut sched = mk(threshold);
+            run_fabric(&topo, &spec, sched.as_mut(), seed, horizon)
+        });
+        let reports: Vec<_> = runs
+            .iter()
+            .map(|(_, run)| run.monitored_port_stability(TrendConfig::default()))
+            .collect();
+        let unstable = reports
+            .iter()
+            .filter(|st| st.verdict != StabilityVerdict::Stable)
+            .count();
+        let stat = |f: &dyn Fn(usize) -> f64| {
+            SeedStats::from_samples(&(0..runs.len()).map(f).collect::<Vec<_>>())
+        };
+        table.add_row(vec![
+            label.to_string(),
+            format!("{unstable}/{}", runs.len()),
+            stat(&|i| reports[i].slope_per_sec / 1e6).display(1),
+            stat(&|i| reports[i].last_value / 1e6).display(0),
+            stat(&|i| runs[i].1.average_throughput().gbps()).display(1),
+            stat(&|i| runs[i].1.leftover_bytes.as_f64() / 1e9).display(2),
+        ]);
+    }
+    println!("{table}");
 }
 
 fn part1_measured_traffic(scale: Scale) {
@@ -51,7 +112,7 @@ fn part1_measured_traffic(scale: Scale) {
         Box::new(ThresholdBacklogSrpt::new(threshold)),
     ];
     for mut sched in schedulers {
-        let run = run_fabric(&topo, &spec, sched.as_mut(), 1, horizon);
+        let run = run_fabric(&topo, &spec, sched.as_mut(), DEFAULT_SEED, horizon);
         let st = run.monitored_port_stability(TrendConfig::default());
         table.add_row(vec![
             sched.name().to_string(),
@@ -103,6 +164,12 @@ fn main() {
     let scale = Scale::from_env();
     println!("== Fig. 2: per-port queue evolution, SRPT vs backlog-aware ==");
     println!("{scale}\n");
-    part1_measured_traffic(scale);
+    let seeds = seeds_from_env(DEFAULT_SEED);
+    if seeds.len() > 1 {
+        part1_seed_sweep(scale, &seeds);
+    } else {
+        part1_measured_traffic(scale);
+    }
+    // Part 2 is a deterministic script: seeds do not apply.
     part2_deterministic_witness();
 }

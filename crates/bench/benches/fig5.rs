@@ -7,9 +7,14 @@
 //! cumulative delivered volume ends higher (the paper quotes a +5352 Gb
 //! total gain).
 
-use basrpt_bench::{paper_equivalent_fast_basrpt, run_fabric, Scale};
+use basrpt_bench::{
+    paper_equivalent_fast_basrpt, run_fabric, run_seeds, seeds_from_env, Scale, SeedStats,
+};
 use basrpt_core::{Scheduler, Srpt};
-use dcn_metrics::{TextTable, TimeSeries, TrendConfig};
+use dcn_metrics::{StabilityVerdict, TextTable, TimeSeries, TrendConfig};
+
+/// The seed the recorded single-run numbers were produced with.
+const DEFAULT_SEED: u64 = 1;
 
 fn print_series(label: &str, series: &TimeSeries, unit: f64, suffix: &str) {
     let s = series.downsample(10);
@@ -22,10 +27,72 @@ fn print_series(label: &str, series: &TimeSeries, unit: f64, suffix: &str) {
     println!("  {label:24} {}", pts.join(" "));
 }
 
+/// Multi-seed variant: the stability verdict must hold for *every* seed,
+/// and the scalar metrics get `mean ± CI95` error bars.
+fn seed_sweep(scale: Scale, seeds: &[u64]) {
+    let topo = scale.topology();
+    let spec = scale.spec(scale.saturating_load()).expect("valid load");
+    let n = topo.num_hosts() as usize;
+    let horizon = scale.stability_horizon();
+
+    println!(
+        "seed sweep over {} seeds {seeds:?}, {} worker threads\n",
+        seeds.len(),
+        basrpt_bench::threads_from_env().min(seeds.len())
+    );
+    let mut table = TextTable::new(vec![
+        "scheme".into(),
+        "unstable seeds".into(),
+        "queue trend (MB/s)".into(),
+        "stable level (MB)".into(),
+        "delivered (GB)".into(),
+        "avg throughput (Gbps)".into(),
+    ]);
+    type Mk = fn(usize) -> Box<dyn Scheduler>;
+    let rows: Vec<(&str, Mk)> = vec![
+        ("SRPT", |_| Box::new(Srpt::new())),
+        ("fast BASRPT (V=2500)", |n| {
+            Box::new(paper_equivalent_fast_basrpt(2500.0, n))
+        }),
+    ];
+    for (label, mk) in rows {
+        let runs = run_seeds(seeds, |seed| {
+            let mut sched = mk(n);
+            run_fabric(&topo, &spec, sched.as_mut(), seed, horizon)
+        });
+        let reports: Vec<_> = runs
+            .iter()
+            .map(|(_, run)| run.monitored_port_stability(TrendConfig::default()))
+            .collect();
+        let unstable = reports
+            .iter()
+            .filter(|st| st.verdict != StabilityVerdict::Stable)
+            .count();
+        let stat = |f: &dyn Fn(usize) -> f64| {
+            SeedStats::from_samples(&(0..runs.len()).map(f).collect::<Vec<_>>())
+        };
+        table.add_row(vec![
+            label.to_string(),
+            format!("{unstable}/{}", runs.len()),
+            stat(&|i| reports[i].slope_per_sec / 1e6).display(1),
+            stat(&|i| reports[i].tail_mean / 1e6).display(0),
+            stat(&|i| runs[i].1.throughput.delivered().as_f64() / 1e9).display(1),
+            stat(&|i| runs[i].1.average_throughput().gbps()).display(1),
+        ]);
+    }
+    println!("{table}");
+}
+
 fn main() {
     let scale = Scale::from_env();
     println!("== Fig. 5: throughput and queue evolution at saturating load ==");
     println!("{scale}, load {:.0}%\n", scale.saturating_load() * 100.0);
+
+    let seeds = seeds_from_env(DEFAULT_SEED);
+    if seeds.len() > 1 {
+        seed_sweep(scale, &seeds);
+        return;
+    }
 
     let topo = scale.topology();
     let spec = scale.spec(scale.saturating_load()).expect("valid load");
@@ -41,7 +108,7 @@ fn main() {
         ),
     ];
     for (label, sched) in schedulers.iter_mut() {
-        let run = run_fabric(&topo, &spec, sched.as_mut(), 1, horizon);
+        let run = run_fabric(&topo, &spec, sched.as_mut(), DEFAULT_SEED, horizon);
         runs.push((label.clone(), run));
     }
 

@@ -5,9 +5,19 @@
 //! small instances it can enumerate). The paper motivates fast BASRPT by
 //! exactly this cost: the exact scheduler is exponential, the greedy pass
 //! is `O(N^2 log N^2)` worst case and `O(Q log Q)` per decision here.
+//!
+//! The `per_event_decision` group measures the realistic steady-state
+//! loop — one table event (a one-unit drain, cycling over the flows)
+//! followed by one scheduling decision — comparing each one-pass
+//! discipline against its `IncrementalScheduler` wrapping across fabric
+//! sizes `N ∈ {16, 48, 144, 288}` with 40 flows per server. The
+//! incremental path re-keys only the event's VOQ instead of re-sorting
+//! all of them, turning the `O(Q log Q)` sort into an `O(log Q)` patch
+//! plus an `O(Q)` pre-sorted walk.
 
 use basrpt_core::{
-    ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, MaxWeight, Scheduler, Srpt,
+    ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, IncrementalScheduler, MaxWeight,
+    Scheduler, Srpt,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcn_types::{FlowId, HostId, Voq};
@@ -74,6 +84,85 @@ fn bench_disciplines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Applies one table event: drains one unit from the next flow in a
+/// round-robin over the initial flow ids, re-inserting a completed flow in
+/// place so the population stays constant across iterations.
+fn one_event(table: &mut FlowTable, cursor: &mut usize, num_flows: usize) {
+    let id = FlowId::new((*cursor % num_flows) as u64);
+    *cursor += 1;
+    let out = table.drain(id, 1).expect("cycled flows stay live");
+    if let Some(done) = out.completed {
+        table
+            .insert(FlowState::new(id, done.voq(), 1_000))
+            .expect("id was just freed");
+    }
+}
+
+fn bench_per_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_event_decision");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    const FLOWS_PER_SERVER: usize = 40;
+    for &n in &[16u32, 48, 144, 288] {
+        let flows = FLOWS_PER_SERVER * n as usize;
+
+        {
+            let mut table = table_with(n, flows, 42);
+            let mut sched = FastBasrpt::new(2500.0, n as usize);
+            let mut cursor = 0usize;
+            group.bench_with_input(BenchmarkId::new("fast_basrpt_one_pass", n), &flows, |b, &f| {
+                b.iter(|| {
+                    one_event(&mut table, &mut cursor, f);
+                    sched.schedule(std::hint::black_box(&table))
+                })
+            });
+        }
+        {
+            let mut table = table_with(n, flows, 42);
+            let mut sched = IncrementalScheduler::new(FastBasrpt::new(2500.0, n as usize));
+            sched.schedule(&table); // pay the initial build outside the loop
+            let mut cursor = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new("fast_basrpt_incremental", n),
+                &flows,
+                |b, &f| {
+                    b.iter(|| {
+                        one_event(&mut table, &mut cursor, f);
+                        sched.schedule(std::hint::black_box(&table))
+                    })
+                },
+            );
+        }
+        {
+            let mut table = table_with(n, flows, 42);
+            let mut sched = Srpt::new();
+            let mut cursor = 0usize;
+            group.bench_with_input(BenchmarkId::new("srpt_one_pass", n), &flows, |b, &f| {
+                b.iter(|| {
+                    one_event(&mut table, &mut cursor, f);
+                    sched.schedule(std::hint::black_box(&table))
+                })
+            });
+        }
+        {
+            let mut table = table_with(n, flows, 42);
+            let mut sched = IncrementalScheduler::new(Srpt::new());
+            sched.schedule(&table);
+            let mut cursor = 0usize;
+            group.bench_with_input(BenchmarkId::new("srpt_incremental", n), &flows, |b, &f| {
+                b.iter(|| {
+                    one_event(&mut table, &mut cursor, f);
+                    sched.schedule(std::hint::black_box(&table))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_exact_blowup(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_basrpt_enumeration");
     group
@@ -100,5 +189,5 @@ fn bench_exact_blowup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_disciplines, bench_exact_blowup);
+criterion_group!(benches, bench_disciplines, bench_per_event, bench_exact_blowup);
 criterion_main!(benches);

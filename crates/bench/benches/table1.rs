@@ -8,11 +8,86 @@
 //! weight `V/144` when the fabric is scaled down (see
 //! `basrpt_bench::paper_equivalent_fast_basrpt`).
 
-use basrpt_bench::{paper_equivalent_fast_basrpt, run_fabric_with, Scale, FCT_BASE_LATENCY_US};
+use basrpt_bench::{
+    paper_equivalent_fast_basrpt, run_fabric_with, run_seeds, seeds_from_env, Scale, SeedStats,
+    FCT_BASE_LATENCY_US,
+};
 use basrpt_core::{Scheduler, Srpt};
 use dcn_fabric::SimConfig;
 use dcn_metrics::TextTable;
 use dcn_types::{FlowClass, SimTime};
+
+/// The seed the recorded single-run numbers were produced with.
+const DEFAULT_SEED: u64 = 7;
+
+/// Multi-seed variant: every metric as `mean ± CI95` over the sweep, one
+/// simulation per (scheduler, seed) fanned out across cores.
+fn seed_sweep(scale: Scale, seeds: &[u64]) {
+    let topo = scale.topology();
+    let spec = scale.spec(scale.saturating_load()).expect("valid load");
+    let n = topo.num_hosts() as usize;
+    let horizon = scale.fct_horizon();
+
+    println!(
+        "seed sweep over {} seeds {seeds:?}, {} worker threads\n",
+        seeds.len(),
+        basrpt_bench::threads_from_env().min(seeds.len())
+    );
+    let mut table = TextTable::new(vec![
+        "scheme".into(),
+        "query avg".into(),
+        "query p99".into(),
+        "bg avg".into(),
+        "bg p99".into(),
+        "throughput (Gbps)".into(),
+    ]);
+    type Mk = fn(usize) -> Box<dyn Scheduler>;
+    let rows: Vec<(&str, Mk)> = vec![
+        ("SRPT", |_| Box::new(Srpt::new())),
+        ("fast BASRPT (V=2500)", |n| {
+            Box::new(paper_equivalent_fast_basrpt(2500.0, n))
+        }),
+    ];
+    for (label, mk) in rows {
+        let runs = run_seeds(seeds, |seed| {
+            let config = SimConfig::new(horizon)
+                .with_base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US));
+            let mut sched = mk(n);
+            run_fabric_with(&topo, &spec, sched.as_mut(), seed, config)
+        });
+        let metric = |f: &dyn Fn(&dcn_fabric::FabricRun) -> f64| -> Vec<f64> {
+            runs.iter().map(|(_, run)| f(run)).collect()
+        };
+        let q_avg = SeedStats::from_samples(&metric(&|r| {
+            r.fct.summary(FlowClass::Query).expect("queries finish").mean_ms()
+        }));
+        let q_p99 = SeedStats::from_samples(&metric(&|r| {
+            r.fct.summary(FlowClass::Query).expect("queries finish").p99_ms()
+        }));
+        let b_avg = SeedStats::from_samples(&metric(&|r| {
+            r.fct
+                .summary(FlowClass::Background)
+                .expect("background finishes")
+                .mean_ms()
+        }));
+        let b_p99 = SeedStats::from_samples(&metric(&|r| {
+            r.fct
+                .summary(FlowClass::Background)
+                .expect("background finishes")
+                .p99_ms()
+        }));
+        let tput = SeedStats::from_samples(&metric(&|r| r.average_throughput().gbps()));
+        table.add_row(vec![
+            label.to_string(),
+            q_avg.display(3),
+            q_p99.display(3),
+            b_avg.display(2),
+            b_p99.display(1),
+            tput.display(1),
+        ]);
+    }
+    println!("{table}");
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -21,6 +96,12 @@ fn main() {
         "{scale}, load {:.0}%, latency floor {FCT_BASE_LATENCY_US} us\n",
         scale.saturating_load() * 100.0
     );
+
+    let seeds = seeds_from_env(DEFAULT_SEED);
+    if seeds.len() > 1 {
+        seed_sweep(scale, &seeds);
+        return;
+    }
 
     let topo = scale.topology();
     let spec = scale.spec(scale.saturating_load()).expect("valid load");
@@ -48,7 +129,7 @@ fn main() {
     for (label, sched) in rows.iter_mut() {
         let config =
             SimConfig::new(horizon).with_base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US));
-        let run = run_fabric_with(&topo, &spec, sched.as_mut(), 7, config);
+        let run = run_fabric_with(&topo, &spec, sched.as_mut(), DEFAULT_SEED, config);
         let q = run.fct.summary(FlowClass::Query).expect("queries finish");
         let b = run
             .fct

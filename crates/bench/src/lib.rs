@@ -12,14 +12,20 @@
 //! * `paper` — the paper's exact 144-host fabric and 500 s horizon
 //!   (hundreds of core-hours; for record runs only).
 //!
+//! Independently, `BASRPT_SEEDS` turns the seed-sensitive experiments
+//! (`fig2`, `fig5`, `table1`) into multi-seed sweeps run in parallel across
+//! cores, reporting `mean ± CI95` per metric (see [`parallel`]).
+//!
 //! `EXPERIMENTS.md` documents which scale produced the recorded numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod runner;
 pub mod scale;
 
+pub use parallel::{run_seeds, run_seeds_with, seeds_from_env, threads_from_env, SeedStats};
 pub use runner::{
     paper_equivalent_fast_basrpt, run_fabric, run_fabric_with, LabeledRun, FCT_BASE_LATENCY_US,
 };

@@ -54,7 +54,21 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// The smallest sampling period [`SimConfig::new`] will pick: one
+    /// slot, i.e. the ~1.2 µs it takes to transmit one 1500-byte MTU at
+    /// the 10 Gbps edge rate. Sampling below this timescale cannot observe
+    /// anything new (queue state only changes when bytes move) but makes
+    /// the event loop wake on every sample point, so short horizons used
+    /// to slow down quadratically as `horizon / 400` underflowed the slot.
+    pub const MIN_SAMPLE_PERIOD: SimTime = SimTime::from_micros_const(1.2);
+
     /// A run of the given duration sampling ~400 points, monitoring port 0.
+    ///
+    /// The sampling period is `horizon / 400`, clamped from below to
+    /// [`SimConfig::MIN_SAMPLE_PERIOD`] so short horizons never sample
+    /// finer than one transmission slot. (For horizons under ~0.5 ms this
+    /// means fewer than 400 points.) Use
+    /// [`with_sample_every`](SimConfig::with_sample_every) to override.
     ///
     /// # Panics
     ///
@@ -64,9 +78,10 @@ impl SimConfig {
             horizon > SimTime::ZERO && !horizon.is_infinite(),
             "horizon must be positive and finite"
         );
+        let period = SimTime::from_secs(horizon.as_secs() / 400.0);
         SimConfig {
             horizon,
-            sample_every: SimTime::from_secs(horizon.as_secs() / 400.0),
+            sample_every: period.max(Self::MIN_SAMPLE_PERIOD),
             monitored_port: HostId::new(0),
             enforce_core_capacity: false,
             base_latency: SimTime::ZERO,
@@ -404,6 +419,19 @@ mod tests {
 
     fn small_topo() -> FatTree {
         FatTree::scaled(2, 4, 1).unwrap()
+    }
+
+    #[test]
+    fn sample_period_clamped_to_one_slot_for_short_horizons() {
+        // 100 µs / 400 would be 250 ns — well below one MTU transmission.
+        let short = SimConfig::new(SimTime::from_micros(100.0));
+        assert_eq!(short.sample_every, SimConfig::MIN_SAMPLE_PERIOD);
+        // Long horizons keep the ~400-point resolution.
+        let long = SimConfig::new(SimTime::from_secs(4.0));
+        assert_eq!(long.sample_every, SimTime::from_millis(10.0));
+        // The explicit override still wins in both directions.
+        let fine = short.with_sample_every(SimTime::from_micros(0.1));
+        assert_eq!(fine.sample_every, SimTime::from_micros(0.1));
     }
 
     #[test]

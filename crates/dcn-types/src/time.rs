@@ -63,6 +63,17 @@ impl SimTime {
         SimTime::from_secs(micros / 1e6)
     }
 
+    /// Creates a time from microseconds, usable in `const` contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time when evaluating a constant) if `micros` is
+    /// NaN or negative.
+    pub const fn from_micros_const(micros: f64) -> Self {
+        assert!(micros == micros && micros >= 0.0, "time must be >= 0");
+        SimTime(micros / 1e6)
+    }
+
     /// The time in seconds.
     pub const fn as_secs(self) -> f64 {
         self.0

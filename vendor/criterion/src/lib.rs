@@ -1,0 +1,274 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! Implements the subset the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`/`bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery. Each benchmark warms up for `warm_up_time`, then
+//! takes `sample_size` samples within `measurement_time`; the report line
+//! (`time: [min mean max]` over per-sample means) intentionally mimics
+//! criterion's output so recorded results files keep their shape.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id carrying only a parameter (mirrors criterion).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Per-sample mean durations, filled by [`Bencher::iter`].
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` under the timing loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.config.sample_size.max(2);
+        let sample_budget = self.config.measurement.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 30,
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.3} ns", secs * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration for subsequent benchmarks.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget for subsequent benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{id}", self.name);
+        println!("Benchmarking {full}");
+        let mut bencher = Bencher {
+            config: &self.config,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples);
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id.clone();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op in the stub; mirrors criterion's API).
+    pub fn finish(self) {}
+}
+
+fn report(full_id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{full_id}: no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!("{full_id}");
+    println!(
+        "                        time:   [{} {} {}]",
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    );
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: Config::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let config = Config::default();
+        println!("Benchmarking {id}");
+        let mut bencher = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(id, &bencher.samples);
+        self
+    }
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_produces_samples() {
+        let config = Config {
+            warm_up: Duration::from_millis(10),
+            measurement: Duration::from_millis(50),
+            sample_size: 5,
+        };
+        let mut b = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("srpt", 100).id, "srpt/100");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

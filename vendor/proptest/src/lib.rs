@@ -1,0 +1,138 @@
+//! Offline stub of `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] test macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`Strategy`] with `prop_map`, range and tuple strategies, and
+//! `prop::collection::vec`. Cases are generated from a deterministic
+//! per-test RNG; failures report the case number and the generated inputs'
+//! debug rendering, but there is **no shrinking** — the first failing case
+//! is reported as-is. Case count defaults to 256 and can be overridden
+//! with the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// The RNG handed to strategies while generating a test case.
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    fn for_test(name: &str, case: u64) -> TestRng {
+        // Deterministic but distinct stream per (test, case).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Marks the case as failed with the given reason.
+    pub fn fail<M: fmt::Display>(reason: M) -> TestCaseError {
+        TestCaseError(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Number of cases to run per property (default 256, `PROPTEST_CASES`
+/// overrides).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Runs `body` for [`cases`] generated cases, panicking on the first
+/// failure. Used by the [`proptest!`] macro expansion; not public API in
+/// real proptest.
+pub fn run_cases<F>(test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let n = cases();
+    for case in 0..n {
+        let mut rng = TestRng::for_test(test_name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest {test_name}: case {case}/{n} failed: {e} (offline stub: no shrinking)");
+        }
+    }
+}
+
+/// Stub of proptest's test macro: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running [`cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case (with an optional formatted message) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Mirrors the `prop` module alias of the real prelude
+    /// (`prop::collection::vec` and friends).
+    pub mod prop {
+        pub use crate::strategy::collection;
+    }
+}

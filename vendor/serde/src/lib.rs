@@ -1,0 +1,53 @@
+//! Offline stub of `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its data types but
+//! never links a serialization backend (`serde_json` & co. are not
+//! dependencies), so in the offline build environment the traits are plain
+//! markers and the derives emit empty impls. The API subset mirrors real
+//! serde closely enough that swapping the workspace dependency back to
+//! crates.io `serde = { version = "1", features = ["derive"] }` requires no
+//! source changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// A few impls for std types so containers of primitives stay derivable.
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}

@@ -1,0 +1,67 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! markers (no serializer backend such as `serde_json` is a dependency), so
+//! these derives emit empty impls of the stub `serde` marker traits. The
+//! parser is deliberately tiny: it scans the item's tokens for the
+//! `struct`/`enum` keyword and takes the following identifier as the type
+//! name. Generic types are rejected at compile time rather than silently
+//! mis-expanded.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item's token stream.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        // Skip attributes: `#` followed by a bracketed group.
+        if let TokenTree::Punct(p) = &tree {
+            if p.as_char() == '#' {
+                let _ = tokens.next();
+                continue;
+            }
+        }
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "stub serde_derive cannot derive for generic type `{name}`"
+                                ));
+                            }
+                        }
+                        return Ok(name.to_string());
+                    }
+                    _ => return Err("expected a type name after `struct`/`enum`".into()),
+                }
+            }
+        }
+    }
+    Err("no `struct` or `enum` found in derive input".into())
+}
+
+fn expand(input: TokenStream, template: fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid"),
+    }
+}
+
+/// Stub `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Stub `#[derive(Deserialize)]`: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

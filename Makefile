@@ -1,9 +1,10 @@
 # Developer entry points. `make verify` is the tier-1 gate from ROADMAP.md.
 
-.PHONY: verify test bench-smoke docs clean
+.PHONY: verify test bench-smoke trace-smoke docs clean
 
-# Tier-1: release build + the root package's quiet test run.
-verify:
+# Tier-1: release build + the root package's quiet test run, plus the
+# trace round-trip smoke.
+verify: trace-smoke
 	cargo build --release
 	cargo test -q
 
@@ -17,6 +18,11 @@ bench-smoke:
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fig5
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench table1
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench sched_overhead
+
+# Short traced simulation: streams every event to JSONL, re-parses each
+# emitted line and exits non-zero on any schema violation.
+trace-smoke:
+	cargo run --release --example trace_run target/trace-smoke
 
 # API docs for the workspace crates; warning-free is enforced in review.
 docs:

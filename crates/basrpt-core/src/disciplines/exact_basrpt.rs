@@ -26,6 +26,7 @@ pub enum PenaltyKind {
 /// Error returned by [`ExactBasrpt::try_schedule`] when the instance is too
 /// large to enumerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ExactBasrptError {
     ports: usize,
     limit: usize,

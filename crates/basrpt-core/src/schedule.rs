@@ -8,6 +8,7 @@ use std::fmt;
 /// Error returned when adding a flow to a [`Schedule`] would violate the
 /// crossbar constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ScheduleError {
     /// The flow's ingress port is already transmitting in this schedule.
     IngressBusy(HostId),

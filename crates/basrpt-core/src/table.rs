@@ -16,6 +16,7 @@ fn fresh_table_id() -> u64 {
 
 /// Error returned by [`FlowTable`] operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FlowTableError {
     /// A flow with this identifier is already active.
     DuplicateFlow(FlowId),

@@ -147,8 +147,8 @@ fn part2_deterministic_witness() {
         Box::new(ThresholdBacklogSrpt::new(15_000_000)),
     ];
     for mut sched in schedulers {
-        let run = simulate(&topo, sched.as_mut(), script(), SimConfig::new(horizon))
-            .expect("valid simulation");
+        let config = SimConfig::builder().horizon(horizon).build();
+        let run = simulate(&topo, sched.as_mut(), script(), config).expect("valid simulation");
         let slope = run.monitored_port_backlog.slope().unwrap_or(0.0);
         table.add_row(vec![
             sched.name().to_string(),

@@ -42,8 +42,10 @@ fn main() {
             ),
         ];
         for (label, sched) in schedulers.iter_mut() {
-            let config = SimConfig::new(horizon)
-                .with_base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US));
+            let config = SimConfig::builder()
+                .horizon(horizon)
+                .base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US))
+                .build();
             let run = run_fabric_with(&topo, &spec, sched.as_mut(), 11, config);
             let q = run.fct.summary(FlowClass::Query).expect("queries finish");
             let b = run

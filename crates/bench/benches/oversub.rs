@@ -58,7 +58,7 @@ fn main() {
                 topo,
                 sched.as_mut(),
                 spec.generator(5).expect("valid spec"),
-                SimConfig::new(horizon),
+                SimConfig::builder().horizon(horizon).build(),
             )
             .expect("valid simulation");
             let st = dcn_metrics::StabilityReport::classify(

@@ -163,6 +163,78 @@ fn bench_per_event(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end engine runs under each probe flavour. `builder_noprobe`
+/// must match `simulate_bare` — `NoProbe` is a ZST whose no-op callbacks
+/// monomorphize away, so attaching it costs nothing. The counter and
+/// JSONL rows price the real observers (the JSONL probe writes to
+/// `io::sink`, so its row is pure formatting cost).
+fn bench_probe_overhead(c: &mut Criterion) {
+    use dcn_fabric::{simulate, FabricSim, FatTree, SimConfig};
+    use dcn_probe::{EventCounterProbe, JsonlProbe, NoProbe};
+    use dcn_types::SimTime;
+    use dcn_workload::TrafficSpec;
+
+    let mut group = c.benchmark_group("probe_overhead");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    let topo = FatTree::scaled(2, 4, 1).expect("valid scaled fabric");
+    let spec = TrafficSpec::scaled(2, 4, 0.7).expect("valid load");
+    let config = SimConfig::builder()
+        .horizon(SimTime::from_secs(0.05))
+        .build();
+
+    group.bench_function("simulate_bare", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            let generator = spec.generator(42).expect("valid spec");
+            simulate(&topo, &mut sched, generator, config.clone()).expect("valid simulation")
+        })
+    });
+    group.bench_function("builder_noprobe", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            let generator = spec.generator(42).expect("valid spec");
+            FabricSim::new(&topo)
+                .config(config.clone())
+                .scheduler(&mut sched)
+                .workload(generator)
+                .probe(NoProbe)
+                .run()
+                .expect("valid simulation")
+        })
+    });
+    group.bench_function("builder_counter", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            let generator = spec.generator(42).expect("valid spec");
+            FabricSim::new(&topo)
+                .config(config.clone())
+                .scheduler(&mut sched)
+                .workload(generator)
+                .probe(EventCounterProbe::new())
+                .run()
+                .expect("valid simulation")
+        })
+    });
+    group.bench_function("builder_jsonl_sink", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            let generator = spec.generator(42).expect("valid spec");
+            FabricSim::new(&topo)
+                .config(config.clone())
+                .scheduler(&mut sched)
+                .workload(generator)
+                .probe(JsonlProbe::new(std::io::sink()))
+                .run()
+                .expect("valid simulation")
+        })
+    });
+    group.finish();
+}
+
 fn bench_exact_blowup(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_basrpt_enumeration");
     group
@@ -189,5 +261,11 @@ fn bench_exact_blowup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_disciplines, bench_per_event, bench_exact_blowup);
+criterion_group!(
+    benches,
+    bench_disciplines,
+    bench_per_event,
+    bench_probe_overhead,
+    bench_exact_blowup
+);
 criterion_main!(benches);

@@ -50,8 +50,10 @@ fn seed_sweep(scale: Scale, seeds: &[u64]) {
     ];
     for (label, mk) in rows {
         let runs = run_seeds(seeds, |seed| {
-            let config = SimConfig::new(horizon)
-                .with_base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US));
+            let config = SimConfig::builder()
+                .horizon(horizon)
+                .base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US))
+                .build();
             let mut sched = mk(n);
             run_fabric_with(&topo, &spec, sched.as_mut(), seed, config)
         });
@@ -127,8 +129,10 @@ fn main() {
     ];
     let mut summaries = Vec::new();
     for (label, sched) in rows.iter_mut() {
-        let config =
-            SimConfig::new(horizon).with_base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US));
+        let config = SimConfig::builder()
+            .horizon(horizon)
+            .base_latency(SimTime::from_micros(FCT_BASE_LATENCY_US))
+            .build();
         let run = run_fabric_with(&topo, &spec, sched.as_mut(), DEFAULT_SEED, config);
         let q = run.fct.summary(FlowClass::Query).expect("queries finish");
         let b = run

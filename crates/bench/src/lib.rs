@@ -25,8 +25,11 @@ pub mod parallel;
 pub mod runner;
 pub mod scale;
 
-pub use parallel::{run_seeds, run_seeds_with, seeds_from_env, threads_from_env, SeedStats};
+pub use parallel::{
+    run_seeds, run_seeds_probed, run_seeds_with, seeds_from_env, threads_from_env, SeedStats,
+};
 pub use runner::{
-    paper_equivalent_fast_basrpt, run_fabric, run_fabric_with, LabeledRun, FCT_BASE_LATENCY_US,
+    paper_equivalent_fast_basrpt, run_fabric, run_fabric_probed, run_fabric_with, LabeledRun,
+    FCT_BASE_LATENCY_US,
 };
 pub use scale::Scale;

@@ -1,7 +1,8 @@
 //! Experiment execution helpers shared by the bench targets.
 
 use basrpt_core::{FastBasrpt, Scheduler};
-use dcn_fabric::{simulate, FabricRun, FatTree, SimConfig};
+use dcn_fabric::{simulate, FabricRun, FabricSim, FatTree, SimConfig};
+use dcn_probe::Probe;
 use dcn_types::SimTime;
 use dcn_workload::TrafficSpec;
 
@@ -63,7 +64,8 @@ pub fn run_fabric(
     seed: u64,
     horizon: SimTime,
 ) -> FabricRun {
-    run_fabric_with(topo, spec, scheduler, seed, SimConfig::new(horizon))
+    let config = SimConfig::builder().horizon(horizon).build();
+    run_fabric_with(topo, spec, scheduler, seed, config)
 }
 
 /// Like [`run_fabric`] with an explicit simulation config (latency floor,
@@ -81,6 +83,32 @@ pub fn run_fabric_with(
 ) -> FabricRun {
     let generator = spec.generator(seed).expect("valid spec");
     simulate(topo, scheduler, generator, config).expect("valid simulation")
+}
+
+/// Like [`run_fabric_with`], additionally streaming the run's events to
+/// `probe` (pass `&mut probe` to keep it). Combine with
+/// [`crate::parallel::run_seeds_probed`] for a per-seed probe merged into
+/// one sweep-wide report.
+///
+/// # Panics
+///
+/// Panics on workload or simulation errors, as in [`run_fabric`].
+pub fn run_fabric_probed<P: Probe>(
+    topo: &FatTree,
+    spec: &TrafficSpec,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+    config: SimConfig,
+    probe: P,
+) -> FabricRun {
+    let generator = spec.generator(seed).expect("valid spec");
+    FabricSim::new(topo)
+        .config(config)
+        .scheduler(scheduler)
+        .workload(generator)
+        .probe(probe)
+        .run()
+        .expect("valid simulation")
 }
 
 /// Formats a millisecond quantity with three significant decimals.

@@ -1,0 +1,230 @@
+//! The [`FabricSim`] builder: the front door of the flow-level simulator.
+//!
+//! `simulate(topo, sched, gen, config)` takes four positional arguments, two
+//! of which are easy to swap, and offers no place to hang an observer. The
+//! builder names every ingredient and enforces the assembly order at the
+//! type level: topology → (optional config) → scheduler → workload →
+//! (optional probe) → run.
+//!
+//! ```
+//! use basrpt_core::Srpt;
+//! use dcn_fabric::{FabricSim, FatTree, SimConfig};
+//! use dcn_probe::EventCounterProbe;
+//! use dcn_types::SimTime;
+//! use dcn_workload::TrafficSpec;
+//!
+//! let topo = FatTree::scaled(2, 4, 1)?;
+//! let spec = TrafficSpec::scaled(2, 4, 0.5)?;
+//! let mut counter = EventCounterProbe::new();
+//! let run = FabricSim::new(&topo)
+//!     .config(SimConfig::builder().horizon(SimTime::from_secs(0.05)).build())
+//!     .scheduler(&mut Srpt::new())
+//!     .workload(spec.generator(7)?)
+//!     .probe(&mut counter)
+//!     .run()?;
+//! assert_eq!(counter.completions() as usize, run.completions);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::engine::{run_with_probe, FabricError, FabricRun, SimConfig};
+use crate::FatTree;
+use basrpt_core::Scheduler;
+use dcn_probe::{NoProbe, Probe};
+use dcn_workload::FlowArrival;
+
+/// Entry point of the builder chain: a topology plus a configuration.
+///
+/// Created by [`FabricSim::new`]; continue with
+/// [`scheduler`](FabricSim::scheduler). See the [module
+/// docs](self) for a complete example.
+#[must_use = "chain .scheduler(..).workload(..).run() to simulate"]
+#[derive(Debug)]
+pub struct FabricSim<'t> {
+    topo: &'t FatTree,
+    config: SimConfig,
+}
+
+impl<'t> FabricSim<'t> {
+    /// Starts assembling a simulation of `topo` with the default
+    /// configuration (1 s horizon, automatic sampling — see
+    /// [`SimConfig::builder`]).
+    pub fn new(topo: &'t FatTree) -> Self {
+        FabricSim {
+            topo,
+            config: SimConfig::builder().build(),
+        }
+    }
+
+    /// Replaces the run configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches the scheduling discipline, consulted on every flow arrival
+    /// and completion.
+    pub fn scheduler<S: Scheduler + ?Sized>(self, scheduler: &mut S) -> FabricSimSched<'t, '_, S> {
+        FabricSimSched {
+            topo: self.topo,
+            config: self.config,
+            scheduler,
+        }
+    }
+}
+
+/// Builder state with a scheduler attached; continue with
+/// [`workload`](FabricSimSched::workload).
+#[must_use = "chain .workload(..).run() to simulate"]
+#[derive(Debug)]
+pub struct FabricSimSched<'t, 's, S: ?Sized> {
+    topo: &'t FatTree,
+    config: SimConfig,
+    scheduler: &'s mut S,
+}
+
+impl<'t, 's, S: Scheduler + ?Sized> FabricSimSched<'t, 's, S> {
+    /// Attaches the arrival stream: any time-ordered `FlowArrival`
+    /// iterator — a `dcn-workload` generator or a scripted `Vec`.
+    pub fn workload<G>(self, generator: G) -> FabricSimReady<'t, 's, S, G, NoProbe>
+    where
+        G: IntoIterator<Item = FlowArrival>,
+    {
+        FabricSimReady {
+            topo: self.topo,
+            config: self.config,
+            scheduler: self.scheduler,
+            generator,
+            probe: NoProbe,
+        }
+    }
+}
+
+/// Fully assembled simulation: [`run`](FabricSimReady::run) it, optionally
+/// attaching an observer first with [`probe`](FabricSimReady::probe).
+#[must_use = "call .run() to simulate"]
+#[derive(Debug)]
+pub struct FabricSimReady<'t, 's, S: ?Sized, G, P> {
+    topo: &'t FatTree,
+    config: SimConfig,
+    scheduler: &'s mut S,
+    generator: G,
+    probe: P,
+}
+
+impl<'t, 's, S, G, P> FabricSimReady<'t, 's, S, G, P>
+where
+    S: Scheduler + ?Sized,
+    G: IntoIterator<Item = FlowArrival>,
+    P: Probe,
+{
+    /// Attaches an observer of the event stream (replacing any previous
+    /// one). Pass `&mut probe` to keep ownership and read the results
+    /// after [`run`](FabricSimReady::run); pass several observers by
+    /// nesting them in a [`dcn_probe::Fanout`].
+    pub fn probe<Q: Probe>(self, probe: Q) -> FabricSimReady<'t, 's, S, G, Q> {
+        FabricSimReady {
+            topo: self.topo,
+            config: self.config,
+            scheduler: self.scheduler,
+            generator: self.generator,
+            probe,
+        }
+    }
+
+    /// Runs the simulation to the configured horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadArrival`] if an arrival references hosts
+    /// outside the topology, is a self-loop, has zero size, or goes
+    /// backwards in time.
+    pub fn run(self) -> Result<FabricRun, FabricError> {
+        run_with_probe(
+            self.topo,
+            self.scheduler,
+            self.generator,
+            self.config,
+            self.probe,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use basrpt_core::Srpt;
+    use dcn_probe::EventCounterProbe;
+    use dcn_types::{Bytes, FlowClass, FlowId, HostId, SimTime, Voq};
+
+    fn arrivals() -> Vec<FlowArrival> {
+        vec![
+            FlowArrival {
+                id: FlowId::new(0),
+                time: SimTime::ZERO,
+                voq: Voq::new(HostId::new(0), HostId::new(1)),
+                size: Bytes::new(1_250_000),
+                class: FlowClass::Background,
+            },
+            FlowArrival {
+                id: FlowId::new(1),
+                time: SimTime::from_millis(1.0),
+                voq: Voq::new(HostId::new(2), HostId::new(3)),
+                size: Bytes::new(20_000),
+                class: FlowClass::Query,
+            },
+        ]
+    }
+
+    #[test]
+    fn builder_matches_simulate() {
+        let topo = FatTree::scaled(2, 4, 1).unwrap();
+        let config = SimConfig::builder()
+            .horizon(SimTime::from_secs(0.01))
+            .build();
+        let via_builder = FabricSim::new(&topo)
+            .config(config)
+            .scheduler(&mut Srpt::new())
+            .workload(arrivals())
+            .run()
+            .unwrap();
+        let via_simulate = simulate(&topo, &mut Srpt::new(), arrivals(), config).unwrap();
+        assert_eq!(via_builder.completions, via_simulate.completions);
+        assert_eq!(via_builder.total_backlog, via_simulate.total_backlog);
+        assert_eq!(
+            via_builder.throughput.delivered(),
+            via_simulate.throughput.delivered()
+        );
+    }
+
+    #[test]
+    fn probe_observes_the_run() {
+        let topo = FatTree::scaled(2, 4, 1).unwrap();
+        let mut counter = EventCounterProbe::new();
+        let run = FabricSim::new(&topo)
+            .config(
+                SimConfig::builder()
+                    .horizon(SimTime::from_secs(0.01))
+                    .build(),
+            )
+            .scheduler(&mut Srpt::new())
+            .workload(arrivals())
+            .probe(&mut counter)
+            .run()
+            .unwrap();
+        assert_eq!(counter.arrivals() as usize, run.arrivals);
+        assert_eq!(counter.completions() as usize, run.completions);
+        assert_eq!(counter.decisions(), run.reschedules);
+        assert_eq!(counter.samples() as usize, run.total_backlog.len());
+        assert_eq!(counter.drained_units(), run.throughput.delivered().as_u64());
+        // The default wants_decision_timing() == true fills latencies.
+        assert_eq!(counter.decision_latency().count(), counter.decisions());
+    }
+
+    #[test]
+    fn default_config_is_one_second_horizon() {
+        let topo = FatTree::scaled(2, 4, 1).unwrap();
+        let sim = FabricSim::new(&topo);
+        assert_eq!(sim.config.horizon, SimTime::from_secs(1.0));
+    }
+}

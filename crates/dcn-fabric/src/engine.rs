@@ -5,15 +5,21 @@ use basrpt_core::{FlowState, FlowTable, Scheduler};
 use dcn_metrics::{
     FctRecorder, SizeBucketRecorder, StabilityReport, ThroughputMeter, TimeSeries, TrendConfig,
 };
+use dcn_probe::{
+    ArrivalEvent, BacklogSampler, CompletionEvent, DecisionEvent, DrainEvent, Fanout, NoProbe,
+    Probe, SampleEvent,
+};
 use dcn_types::{Bytes, FlowClass, FlowId, HostId, Rate, SimTime, Voq};
 use dcn_workload::FlowArrival;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Error produced by [`simulate`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FabricError {
     /// An arrival referenced a host outside the topology or a self-loop.
     BadArrival(String),
@@ -54,7 +60,7 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// The smallest sampling period [`SimConfig::new`] will pick: one
+    /// The smallest sampling period automatic sampling will pick: one
     /// slot, i.e. the ~1.2 µs it takes to transmit one 1500-byte MTU at
     /// the 10 Gbps edge rate. Sampling below this timescale cannot observe
     /// anything new (queue state only changes when bytes move) but makes
@@ -62,30 +68,37 @@ impl SimConfig {
     /// to slow down quadratically as `horizon / 400` underflowed the slot.
     pub const MIN_SAMPLE_PERIOD: SimTime = SimTime::from_micros_const(1.2);
 
-    /// A run of the given duration sampling ~400 points, monitoring port 0.
+    /// Starts building a configuration: set the duration with
+    /// [`horizon`](SimConfigBuilder::horizon), then any optional knobs, then
+    /// [`build`](SimConfigBuilder::build).
     ///
-    /// The sampling period is `horizon / 400`, clamped from below to
-    /// [`SimConfig::MIN_SAMPLE_PERIOD`] so short horizons never sample
-    /// finer than one transmission slot. (For horizons under ~0.5 ms this
-    /// means fewer than 400 points.) Use
-    /// [`with_sample_every`](SimConfig::with_sample_every) to override.
+    /// # Example
+    ///
+    /// ```
+    /// use dcn_fabric::SimConfig;
+    /// use dcn_types::SimTime;
+    ///
+    /// let config = SimConfig::builder()
+    ///     .horizon(SimTime::from_secs(0.5))
+    ///     .sample_every(SimTime::from_millis(1.0))
+    ///     .build();
+    /// assert_eq!(config.sample_every, SimTime::from_millis(1.0));
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// A run of the given duration with default sampling (deprecated shim).
+    ///
+    /// Equivalent to `SimConfig::builder().horizon(horizon).build()`; kept
+    /// for one release so downstream code migrates at its own pace.
     ///
     /// # Panics
     ///
     /// Panics if `horizon` is zero or infinite.
+    #[deprecated(since = "0.2.0", note = "use `SimConfig::builder().horizon(..).build()`")]
     pub fn new(horizon: SimTime) -> Self {
-        assert!(
-            horizon > SimTime::ZERO && !horizon.is_infinite(),
-            "horizon must be positive and finite"
-        );
-        let period = SimTime::from_secs(horizon.as_secs() / 400.0);
-        SimConfig {
-            horizon,
-            sample_every: period.max(Self::MIN_SAMPLE_PERIOD),
-            monitored_port: HostId::new(0),
-            enforce_core_capacity: false,
-            base_latency: SimTime::ZERO,
-        }
+        SimConfig::builder().horizon(horizon).build()
     }
 
     /// Replaces the FCT latency floor (builder style).
@@ -117,6 +130,100 @@ impl SimConfig {
         );
         self.sample_every = period;
         self
+    }
+}
+
+/// Builder for [`SimConfig`], obtained from [`SimConfig::builder`].
+///
+/// Defaults: a 1 s horizon, automatic ~400-point sampling, monitored
+/// port 0, core capacity not enforced, no FCT latency floor.
+#[must_use = "call .build() to obtain the SimConfig"]
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfigBuilder {
+    horizon: SimTime,
+    sample_every: Option<SimTime>,
+    monitored_port: HostId,
+    enforce_core_capacity: bool,
+    base_latency: SimTime,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            horizon: SimTime::from_secs(1.0),
+            sample_every: None,
+            monitored_port: HostId::new(0),
+            enforce_core_capacity: false,
+            base_latency: SimTime::ZERO,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the simulated duration (default 1 s).
+    pub fn horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets an explicit sampling period. When unset, [`build`] picks
+    /// `horizon / 400`, clamped from below to
+    /// [`SimConfig::MIN_SAMPLE_PERIOD`] so short horizons never sample
+    /// finer than one transmission slot.
+    ///
+    /// [`build`]: SimConfigBuilder::build
+    pub fn sample_every(mut self, period: SimTime) -> Self {
+        self.sample_every = Some(period);
+        self
+    }
+
+    /// Sets the port whose queue-length trace is recorded (default port 0).
+    pub fn monitored_port(mut self, port: HostId) -> Self {
+        self.monitored_port = port;
+        self
+    }
+
+    /// Enforces per-rack uplink capacity even on full-bisection fabrics.
+    pub fn enforce_core_capacity(mut self, enforce: bool) -> Self {
+        self.enforce_core_capacity = enforce;
+        self
+    }
+
+    /// Sets the additive latency floor applied to every recorded FCT.
+    pub fn base_latency(mut self, latency: SimTime) -> Self {
+        self.base_latency = latency;
+        self
+    }
+
+    /// Validates the settings and produces the [`SimConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is zero or infinite, the sampling period is
+    /// zero or infinite, or the latency floor is infinite.
+    pub fn build(self) -> SimConfig {
+        assert!(
+            self.horizon > SimTime::ZERO && !self.horizon.is_infinite(),
+            "horizon must be positive and finite"
+        );
+        let sample_every = self.sample_every.unwrap_or_else(|| {
+            SimTime::from_secs(self.horizon.as_secs() / 400.0).max(SimConfig::MIN_SAMPLE_PERIOD)
+        });
+        assert!(
+            sample_every > SimTime::ZERO && !sample_every.is_infinite(),
+            "sample period must be positive and finite"
+        );
+        assert!(
+            !self.base_latency.is_infinite(),
+            "latency floor must be finite"
+        );
+        SimConfig {
+            horizon: self.horizon,
+            sample_every,
+            monitored_port: self.monitored_port,
+            enforce_core_capacity: self.enforce_core_capacity,
+            base_latency: self.base_latency,
+        }
     }
 }
 
@@ -216,6 +323,10 @@ fn enforce_core_capacity(
 /// `scheduler` on every arrival and completion, and drain at the edge line
 /// rate while selected. Returns all run measurements.
 ///
+/// This is a thin wrapper over the [`FabricSim`](crate::FabricSim) builder
+/// with no observer attached ([`NoProbe`]); to watch the event stream,
+/// attach a probe via [`FabricSim::probe`](crate::FabricSim).
+///
 /// # Errors
 ///
 /// Returns [`FabricError::BadArrival`] if an arrival references hosts
@@ -226,6 +337,23 @@ pub fn simulate<S: Scheduler + ?Sized>(
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
+) -> Result<FabricRun, FabricError> {
+    run_with_probe(topo, scheduler, generator, config, NoProbe)
+}
+
+/// The probe-instrumented event loop behind [`simulate`] and the
+/// [`FabricSim`](crate::FabricSim) builder.
+///
+/// The engine always composes an internal [`BacklogSampler`] (which fills
+/// `FabricRun`'s time-series fields exactly as the pre-probe engine did)
+/// with the caller's `probe` via [`Fanout`]; with [`NoProbe`] the whole
+/// observer layer monomorphizes down to the unobserved loop.
+pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
+    topo: &FatTree,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
 ) -> Result<FabricRun, FabricError> {
     let mut generator = generator.into_iter();
     let edge_rate = topo.edge_rate();
@@ -238,10 +366,8 @@ pub fn simulate<S: Scheduler + ?Sized>(
     let mut fct = FctRecorder::new();
     let mut fct_by_size = SizeBucketRecorder::pfabric_buckets();
     let mut throughput = ThroughputMeter::new();
-    let mut total_backlog = TimeSeries::new();
-    let mut monitored = TimeSeries::new();
-    let mut max_port = TimeSeries::new();
-    let mut cumulative = TimeSeries::new();
+    let mut sampler = BacklogSampler::new(config.monitored_port);
+    let mut fan = Fanout::new(&mut sampler, probe);
     let mut arrivals_count = 0usize;
     let mut completions_count = 0usize;
     let mut arrived_bytes = Bytes::ZERO;
@@ -281,11 +407,24 @@ pub fn simulate<S: Scheduler + ?Sized>(
                 }
                 let outcome = table.drain(id, amount).expect("scheduled flow is active");
                 throughput.deliver(Bytes::new(outcome.drained));
+                fan.on_drain(&DrainEvent {
+                    time: t.as_secs(),
+                    flow: id,
+                    voq,
+                    amount: outcome.drained,
+                });
                 if let Some(done) = outcome.completed {
                     let info = meta.remove(&id).expect("active flow has metadata");
                     let flow_fct = t - info.arrival + config.base_latency;
                     fct.record(info.class, info.size, flow_fct);
                     fct_by_size.record(info.size, flow_fct);
+                    fan.on_completion(&CompletionEvent {
+                        time: t.as_secs(),
+                        flow: id,
+                        voq,
+                        size: info.size.as_u64(),
+                        fct: flow_fct.as_secs(),
+                    });
                     completions_count += 1;
                     completed_any = true;
                     debug_assert_eq!(voq, done.voq());
@@ -300,11 +439,11 @@ pub fn simulate<S: Scheduler + ?Sized>(
 
         // --- sampling ---
         if next_sample <= clock {
-            let secs = clock.as_secs();
-            total_backlog.push(secs, table.total_backlog() as f64);
-            monitored.push(secs, table.ingress_backlog(config.monitored_port) as f64);
-            max_port.push(secs, table.max_ingress_backlog() as f64);
-            cumulative.push(secs, throughput.delivered().as_f64());
+            fan.on_sample(&SampleEvent {
+                time: clock.as_secs(),
+                table: &table,
+                delivered: throughput.delivered().as_f64(),
+            });
             next_sample += config.sample_every;
         }
 
@@ -335,12 +474,25 @@ pub fn simulate<S: Scheduler + ?Sized>(
             arrivals_count += 1;
             arrived_bytes += arrival.size;
             arrived_any = true;
+            fan.on_arrival(&ArrivalEvent {
+                time: arrival.time.as_secs(),
+                flow: arrival.id,
+                voq: arrival.voq,
+                size: arrival.size.as_u64(),
+            });
             next_arrival = generator.next();
         }
 
         // --- reschedule on arrival or completion (the paper's update rule) ---
         if arrived_any || completed_any {
+            let started = fan.wants_decision_timing().then(Instant::now);
             let schedule = scheduler.schedule(&table);
+            let latency = started.map(|s| s.elapsed());
+            fan.on_decision(&DecisionEvent {
+                time: clock.as_secs(),
+                schedule: &schedule,
+                latency,
+            });
             scheduled = if enforce_core {
                 enforce_core_capacity(topo, schedule.iter())
             } else {
@@ -349,15 +501,17 @@ pub fn simulate<S: Scheduler + ?Sized>(
             reschedules += 1;
         }
     }
+    drop(fan);
+    let series = sampler.into_series();
 
     Ok(FabricRun {
         fct,
         fct_by_size,
         throughput,
-        total_backlog,
-        monitored_port_backlog: monitored,
-        max_port_backlog: max_port,
-        cumulative_delivered: cumulative,
+        total_backlog: series.total_backlog,
+        monitored_port_backlog: series.monitored_port_backlog,
+        max_port_backlog: series.max_port_backlog,
+        cumulative_delivered: series.cumulative_delivered,
         arrivals: arrivals_count,
         completions: completions_count,
         arrived_bytes,
@@ -424,10 +578,10 @@ mod tests {
     #[test]
     fn sample_period_clamped_to_one_slot_for_short_horizons() {
         // 100 µs / 400 would be 250 ns — well below one MTU transmission.
-        let short = SimConfig::new(SimTime::from_micros(100.0));
+        let short = SimConfig::builder().horizon(SimTime::from_micros(100.0)).build();
         assert_eq!(short.sample_every, SimConfig::MIN_SAMPLE_PERIOD);
         // Long horizons keep the ~400-point resolution.
-        let long = SimConfig::new(SimTime::from_secs(4.0));
+        let long = SimConfig::builder().horizon(SimTime::from_secs(4.0)).build();
         assert_eq!(long.sample_every, SimTime::from_millis(10.0));
         // The explicit override still wins in both directions.
         let fine = short.with_sample_every(SimTime::from_micros(0.1));
@@ -442,7 +596,7 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 1, 1_250_000)],
-            SimConfig::new(SimTime::from_secs(0.01)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
         )
         .unwrap();
         assert_eq!(run.completions, 1);
@@ -471,7 +625,7 @@ mod tests {
                 arrival(0, 0.0, 0, 1, 2_500_000), // 2 ms alone
                 arrival(1, 0.0, 0, 2, 1_250_000), // 1 ms alone
             ],
-            SimConfig::new(SimTime::from_secs(0.01)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
         )
         .unwrap();
         assert_eq!(run.completions, 2);
@@ -495,7 +649,7 @@ mod tests {
                 arrival(1, 0.001, 2, 3, 1_000),
                 arrival(2, 0.002, 1, 0, 7_777),
             ],
-            SimConfig::new(SimTime::from_secs(0.01)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
         )
         .unwrap();
         assert_eq!(
@@ -512,7 +666,7 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 1, 1_000), arrival(1, 99.0, 0, 1, 1_000)],
-            SimConfig::new(SimTime::from_secs(0.01)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
         )
         .unwrap();
         assert_eq!(run.arrivals, 1);
@@ -530,7 +684,7 @@ mod tests {
                 arrival(0, 0.0, 0, 1, 2_500_000),  // 2 ms alone
                 arrival(1, 0.0005, 0, 2, 625_000), // 0.5 ms alone, shorter remaining
             ],
-            SimConfig::new(SimTime::from_secs(0.02)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.02)).build(),
         )
         .unwrap();
         assert_eq!(run.completions, 2);
@@ -544,7 +698,7 @@ mod tests {
     #[test]
     fn sampling_produces_series() {
         let topo = small_topo();
-        let config = SimConfig::new(SimTime::from_secs(0.01))
+        let config = SimConfig::builder().horizon(SimTime::from_secs(0.01)).build()
             .with_sample_every(SimTime::from_millis(1.0))
             .with_monitored_port(HostId::new(0));
         let run = simulate(
@@ -574,7 +728,7 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 99, 1_000)],
-            SimConfig::new(SimTime::from_secs(0.01)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
         );
         assert!(matches!(out_of_range, Err(FabricError::BadArrival(_))));
 
@@ -582,7 +736,7 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 3, 3, 1_000)],
-            SimConfig::new(SimTime::from_secs(0.01)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
         );
         assert!(matches!(self_loop, Err(FabricError::BadArrival(_))));
 
@@ -593,7 +747,7 @@ mod tests {
                 arrival(0, 0.005, 0, 1, 1_000),
                 arrival(1, 0.001, 0, 2, 1_000),
             ],
-            SimConfig::new(SimTime::from_secs(0.01)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
         );
         assert!(matches!(backwards, Err(FabricError::BadArrival(_))));
     }
@@ -612,7 +766,7 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             flows,
-            SimConfig::new(SimTime::from_secs(0.1)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.1)).build(),
         )
         .unwrap();
         // Only 4 can transmit concurrently: after 10 ms (one flow's solo
@@ -637,7 +791,7 @@ mod tests {
             &topo_fb,
             &mut Srpt::new(),
             flows,
-            SimConfig::new(SimTime::from_secs(0.1)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.1)).build(),
         )
         .unwrap();
         let s_fb = run_fb.fct.summary(FlowClass::Background).unwrap();
@@ -651,7 +805,7 @@ mod tests {
     #[test]
     fn base_latency_shifts_fcts_only() {
         let topo = small_topo();
-        let base = SimConfig::new(SimTime::from_secs(0.01));
+        let base = SimConfig::builder().horizon(SimTime::from_secs(0.01)).build();
         let shifted = base.with_base_latency(SimTime::from_micros(100.0));
         let flows = || vec![arrival(0, 0.0, 0, 1, 1_250_000)];
         let a = simulate(&topo, &mut Srpt::new(), flows(), base).unwrap();
@@ -669,7 +823,7 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 1, 1_250_000)],
-            SimConfig::new(SimTime::from_secs(0.001)),
+            SimConfig::builder().horizon(SimTime::from_secs(0.001)).build(),
         )
         .unwrap();
         // The flow needs exactly the whole horizon; everything delivered.

@@ -30,7 +30,7 @@
 //!     &topo,
 //!     &mut Srpt::new(),
 //!     spec.generator(7)?,
-//!     SimConfig::new(SimTime::from_secs(0.2)),
+//!     SimConfig::builder().horizon(SimTime::from_secs(0.2)).build(),
 //! )?;
 //! assert!(run.completions > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -39,8 +39,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod engine;
 mod topology;
 
-pub use engine::{simulate, FabricError, FabricRun, SimConfig};
+pub use builder::{FabricSim, FabricSimReady, FabricSimSched};
+pub use engine::{simulate, FabricError, FabricRun, SimConfig, SimConfigBuilder};
 pub use topology::{FatTree, TopologyError};

@@ -7,6 +7,7 @@ use std::fmt;
 
 /// Error building a topology.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct TopologyError(String);
 
 impl fmt::Display for TopologyError {

@@ -17,7 +17,7 @@
 //! harness to print paper-style tables.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod buckets;
 pub mod csv;

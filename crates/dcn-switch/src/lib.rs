@@ -38,4 +38,5 @@ pub mod fig1;
 pub mod lyapunov;
 mod switch;
 
-pub use switch::{run, CompletedFlow, RunConfig, SlotOutcome, SlottedSwitch, SwitchRun};
+pub use arrivals::ScriptedArrivals;
+pub use switch::{run, run_probed, CompletedFlow, RunConfig, SlotOutcome, SlottedSwitch, SwitchRun};

@@ -21,14 +21,9 @@ use serde::{Deserialize, Serialize};
 /// # Ok::<(), basrpt_core::FlowTableError>(())
 /// ```
 pub fn lyapunov_value(table: &FlowTable) -> f64 {
-    table
-        .voqs()
-        .map(|v| {
-            let x = v.backlog as f64;
-            x * x
-        })
-        .sum::<f64>()
-        / 2.0
+    // The computation now lives in `dcn-probe` (shared with the fabric's
+    // `DriftProbe`); this re-export keeps the historical call sites.
+    dcn_probe::quadratic_lyapunov(table)
 }
 
 /// The drift-plus-penalty constant `B' = N(1 + N·B)/2` of Theorem 1, where

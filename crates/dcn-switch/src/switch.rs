@@ -3,9 +3,13 @@
 use crate::arrivals::SlotArrivals;
 use basrpt_core::{FlowState, FlowTable, Scheduler};
 use dcn_metrics::TimeSeries;
-use dcn_types::{FlowId, Slot, Voq};
+use dcn_probe::{
+    ArrivalEvent, CompletionEvent, DecisionEvent, DrainEvent, Fanout, NoProbe, Probe, SampleEvent,
+};
+use dcn_types::{FlowId, HostId, Slot, Voq};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A flow that finished transferring in the slotted model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +43,9 @@ pub struct SlotOutcome {
     pub transmitted: u64,
     /// Flows that completed this slot.
     pub completions: Vec<CompletedFlow>,
+    /// Flows admitted at the end of this slot as `(id, voq, packets)`,
+    /// with the switch-assigned identifiers (eligible from the next slot).
+    pub admitted: Vec<(FlowId, Voq, u64)>,
 }
 
 /// The `N × N` input-queued switch with slotted time (§III-B).
@@ -180,6 +187,7 @@ impl SlottedSwitch {
                 .insert(FlowState::new(id, voq, packets))
                 .expect("ids are unique by construction");
             self.arrival_slots.insert(id, self.now);
+            outcome.admitted.push((id, voq, packets));
         }
         outcome
     }
@@ -229,42 +237,124 @@ pub struct SwitchRun {
     pub avg_total_backlog: f64,
 }
 
+/// The internal probe filling [`SwitchRun`]'s time series, mirroring the
+/// sampling the slotted loop has always done: total backlog, the most
+/// loaded ingress port (scanned over all `num_ports` ports), and the
+/// quadratic Lyapunov function, all on the slot-index time axis.
+#[derive(Debug)]
+struct SwitchSampler {
+    num_ports: u32,
+    total_backlog: TimeSeries,
+    max_port_backlog: TimeSeries,
+    lyapunov: TimeSeries,
+}
+
+impl SwitchSampler {
+    fn new(num_ports: u32) -> Self {
+        SwitchSampler {
+            num_ports,
+            total_backlog: TimeSeries::new(),
+            max_port_backlog: TimeSeries::new(),
+            lyapunov: TimeSeries::new(),
+        }
+    }
+}
+
+impl Probe for SwitchSampler {
+    fn wants_decision_timing(&self) -> bool {
+        false
+    }
+
+    fn on_sample(&mut self, event: &SampleEvent<'_>) {
+        let secs = event.time;
+        self.total_backlog
+            .push(secs, event.table.total_backlog() as f64);
+        let max_port = (0..self.num_ports)
+            .map(|p| event.table.ingress_backlog(HostId::new(p)))
+            .max()
+            .unwrap_or(0);
+        self.max_port_backlog.push(secs, max_port as f64);
+        self.lyapunov
+            .push(secs, crate::lyapunov::lyapunov_value(event.table));
+    }
+}
+
 /// Runs a slotted simulation of `num_ports` ports for `config.slots` slots,
 /// feeding arrivals from `arrivals` and scheduling with `scheduler`.
+///
+/// A thin wrapper over [`run_probed`] with no observer attached.
 pub fn run<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized>(
     num_ports: u32,
     scheduler: &mut S,
     arrivals: &mut A,
     config: RunConfig,
 ) -> SwitchRun {
+    run_probed(num_ports, scheduler, arrivals, config, NoProbe)
+}
+
+/// Like [`run`], but additionally streams every event of the run to
+/// `probe` — arrivals and per-packet drains, completions with their slot
+/// FCTs, scheduling decisions (with wall latency if the probe asks for
+/// it), and the pre-step samples that also fill [`SwitchRun`]'s series.
+///
+/// Timestamps are slot indices; sizes are packets. Pass `&mut probe` to
+/// keep ownership and read the observations afterwards.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::Srpt;
+/// use dcn_probe::EventCounterProbe;
+/// use dcn_switch::{run_probed, RunConfig, ScriptedArrivals};
+/// use dcn_types::{HostId, Voq};
+///
+/// let mut arrivals =
+///     ScriptedArrivals::new(vec![(0, Voq::new(HostId::new(0), HostId::new(1)), 3)]);
+/// let mut counter = EventCounterProbe::new();
+/// let run = run_probed(2, &mut Srpt::new(), &mut arrivals, RunConfig::new(10), &mut counter);
+/// assert_eq!(counter.drained_units(), run.delivered_packets);
+/// assert_eq!(counter.completions() as usize, run.completions.len());
+/// ```
+pub fn run_probed<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized, P: Probe>(
+    num_ports: u32,
+    scheduler: &mut S,
+    arrivals: &mut A,
+    config: RunConfig,
+    probe: P,
+) -> SwitchRun {
     let mut switch = SlottedSwitch::new(num_ports);
+    let mut sampler = SwitchSampler::new(num_ports);
+    let mut fan = Fanout::new(&mut sampler, probe);
     let mut completions = Vec::new();
     let mut delivered = 0u64;
-    let mut total_backlog = TimeSeries::new();
-    let mut max_port_backlog = TimeSeries::new();
-    let mut lyapunov = TimeSeries::new();
     let mut penalty_sum = 0.0;
     let mut penalty_slots = 0u64;
     let mut backlog_sum = 0.0;
 
     for t in 0..config.slots {
         let slot = Slot::new(t);
+        let now = t as f64;
         // Sample the pre-step state.
         if t % config.sample_every == 0 {
-            let secs = t as f64;
-            total_backlog.push(secs, switch.table().total_backlog() as f64);
-            let max_port = (0..num_ports)
-                .map(|p| switch.table().ingress_backlog(dcn_types::HostId::new(p)))
-                .max()
-                .unwrap_or(0);
-            max_port_backlog.push(secs, max_port as f64);
-            lyapunov.push(secs, crate::lyapunov::lyapunov_value(switch.table()));
+            fan.on_sample(&SampleEvent {
+                time: now,
+                table: switch.table(),
+                delivered: delivered as f64,
+            });
         }
         backlog_sum += switch.table().total_backlog() as f64;
 
+        let started = fan.wants_decision_timing().then(Instant::now);
+        let schedule = scheduler.schedule(switch.table());
+        let latency = started.map(|s| s.elapsed());
+        fan.on_decision(&DecisionEvent {
+            time: now,
+            schedule: &schedule,
+            latency,
+        });
+
         // Penalty ȳ(t) is the mean remaining size of the scheduled flows,
         // observed before the transmit.
-        let schedule = scheduler.schedule(switch.table());
         if !schedule.is_empty() {
             let total: u64 = schedule
                 .flow_ids()
@@ -275,16 +365,43 @@ pub fn run<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized>(
         }
 
         let outcome = switch.step_with_schedule(&schedule, arrivals.poll(slot));
+        for (id, voq) in schedule.iter() {
+            fan.on_drain(&DrainEvent {
+                time: now,
+                flow: id,
+                voq,
+                amount: 1,
+            });
+        }
+        for done in &outcome.completions {
+            fan.on_completion(&CompletionEvent {
+                time: now,
+                flow: done.id,
+                voq: done.voq,
+                size: done.size,
+                fct: done.fct_slots() as f64,
+            });
+        }
+        for &(id, voq, packets) in &outcome.admitted {
+            // Admitted at the end of slot `t`, eligible from `t + 1`.
+            fan.on_arrival(&ArrivalEvent {
+                time: now + 1.0,
+                flow: id,
+                voq,
+                size: packets,
+            });
+        }
         delivered += outcome.transmitted;
         completions.extend(outcome.completions);
     }
+    drop(fan);
 
     SwitchRun {
         completions,
         delivered_packets: delivered,
-        total_backlog,
-        max_port_backlog,
-        lyapunov,
+        total_backlog: sampler.total_backlog,
+        max_port_backlog: sampler.max_port_backlog,
+        lyapunov: sampler.lyapunov,
         leftover_packets: switch.table().total_backlog(),
         leftover_flows: switch.table().len(),
         avg_penalty: if penalty_slots > 0 {
@@ -391,6 +508,60 @@ mod tests {
         assert_eq!(run.leftover_flows, 0);
         assert!(run.avg_penalty > 0.0);
         assert!(!run.total_backlog.is_empty());
+    }
+
+    #[test]
+    fn run_probed_observes_every_event_without_perturbing() {
+        use dcn_probe::EventCounterProbe;
+        let script = vec![
+            (0u64, voq(0, 1), 3u64),
+            (0, voq(1, 0), 2),
+            (5, voq(0, 1), 1),
+        ];
+        let bare = run(
+            2,
+            &mut Srpt::new(),
+            &mut ScriptedArrivals::new(script.clone()),
+            RunConfig::new(20),
+        );
+        let mut counter = EventCounterProbe::new();
+        let observed = run_probed(
+            2,
+            &mut Srpt::new(),
+            &mut ScriptedArrivals::new(script),
+            RunConfig::new(20),
+            &mut counter,
+        );
+        // The observer sees everything...
+        assert_eq!(counter.arrivals(), 3);
+        assert_eq!(counter.arrived_units(), 6);
+        assert_eq!(counter.drained_units(), observed.delivered_packets);
+        assert_eq!(counter.completions() as usize, observed.completions.len());
+        assert_eq!(counter.decisions(), 20);
+        assert_eq!(
+            counter.samples() as usize,
+            observed.total_backlog.len(),
+            "one sample event per recorded point"
+        );
+        assert_eq!(counter.decision_latency().count(), 20);
+        // ...and changes nothing.
+        assert_eq!(bare.delivered_packets, observed.delivered_packets);
+        assert_eq!(bare.completions, observed.completions);
+        assert_eq!(bare.total_backlog, observed.total_backlog);
+        assert_eq!(bare.lyapunov, observed.lyapunov);
+        assert_eq!(bare.avg_penalty, observed.avg_penalty);
+    }
+
+    #[test]
+    fn slot_outcome_reports_admitted_flow_ids() {
+        let mut sw = SlottedSwitch::new(2);
+        let mut srpt = Srpt::new();
+        let out = sw.step(&mut srpt, vec![(voq(0, 1), 4)]);
+        assert_eq!(out.admitted.len(), 1);
+        let (id, q, packets) = out.admitted[0];
+        assert_eq!(q, voq(0, 1));
+        assert_eq!(packets, 4);
+        assert!(sw.table().get(id).is_some());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Error produced while validating a workload configuration.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum WorkloadError {
     /// An empirical CDF was malformed (empty, non-monotone, bad range, …).
     InvalidCdf(String),

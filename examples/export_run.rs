@@ -13,11 +13,8 @@
 //! cargo run --release --example export_run [output_dir]
 //! ```
 
-use basrpt::core::{FastBasrpt, Scheduler, Srpt};
-use basrpt::fabric::{simulate, FatTree, SimConfig};
 use basrpt::metrics::csv;
-use basrpt::types::{FlowClass, SimTime};
-use basrpt::workload::TrafficSpec;
+use basrpt::prelude::*;
 use std::error::Error;
 use std::fs::{self, File};
 use std::io::BufWriter;
@@ -33,7 +30,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let topo = FatTree::scaled(4, 4, 1)?;
     let spec = TrafficSpec::scaled(4, 4, 0.95)?;
     let n = topo.num_hosts() as usize;
-    let config = SimConfig::new(SimTime::from_secs(2.0));
+    let config = SimConfig::builder().horizon(SimTime::from_secs(2.0)).build();
 
     let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("srpt", Box::new(Srpt::new())),

@@ -14,13 +14,8 @@
 //! cargo run --release --example fabric_showdown
 //! ```
 
-use basrpt::core::{
-    FastBasrpt, Fifo, MaxWeight, RoundRobin, Scheduler, Srpt, ThresholdBacklogSrpt,
-};
-use basrpt::fabric::{simulate, FatTree, SimConfig};
-use basrpt::metrics::{TextTable, TrendConfig};
-use basrpt::types::{FlowClass, SimTime};
-use basrpt::workload::TrafficSpec;
+use basrpt::metrics::TextTable;
+use basrpt::prelude::*;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -58,7 +53,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             &topo,
             sched.as_mut(),
             spec.generator(1234)?,
-            SimConfig::new(horizon),
+            SimConfig::builder().horizon(horizon).build(),
         )?;
         let q = run.fct.summary(FlowClass::Query);
         let b = run.fct.summary(FlowClass::Background);

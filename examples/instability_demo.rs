@@ -12,12 +12,8 @@
 //! cargo run --release --example instability_demo
 //! ```
 
-use basrpt::core::{ExactBasrpt, Scheduler, Srpt, ThresholdBacklogSrpt};
-use basrpt::fabric::{simulate, FatTree, SimConfig};
-use basrpt::metrics::TrendConfig;
+use basrpt::prelude::*;
 use basrpt::switch::fig1;
-use basrpt::types::SimTime;
-use basrpt::workload::TrafficSpec;
 use std::error::Error;
 
 fn part1_fig1() {
@@ -66,7 +62,7 @@ fn part2_fig2() -> Result<(), Box<dyn Error>> {
             &topo,
             sched.as_mut(),
             spec.generator(7)?,
-            SimConfig::new(horizon),
+            SimConfig::builder().horizon(horizon).build(),
         )?;
         // An 8-second demo is too short for the benches' conservative
         // stable/growing verdict; the whole-trace slope tells the story.

@@ -7,11 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use basrpt::core::{FastBasrpt, Scheduler, Srpt};
-use basrpt::fabric::{simulate, FabricRun, FatTree, SimConfig};
-use basrpt::metrics::{TextTable, TrendConfig};
-use basrpt::types::{FlowClass, SimTime};
-use basrpt::workload::TrafficSpec;
+use basrpt::metrics::TextTable;
+use basrpt::prelude::*;
 use std::error::Error;
 
 fn run_one(
@@ -20,7 +17,7 @@ fn run_one(
     scheduler: &mut dyn Scheduler,
     seed: u64,
 ) -> Result<FabricRun, Box<dyn Error>> {
-    let config = SimConfig::new(SimTime::from_secs(2.0));
+    let config = SimConfig::builder().horizon(SimTime::from_secs(2.0)).build();
     Ok(simulate(topo, scheduler, spec.generator(seed)?, config)?)
 }
 

@@ -15,13 +15,10 @@
 //! cargo run --release --example v_tradeoff
 //! ```
 
-use basrpt::core::FastBasrpt;
-use basrpt::fabric::{simulate, FatTree, SimConfig};
 use basrpt::metrics::TextTable;
+use basrpt::prelude::*;
 use basrpt::switch::arrivals::BernoulliFlowArrivals;
-use basrpt::switch::{run as run_switch, RunConfig};
-use basrpt::types::{FlowClass, SimTime};
-use basrpt::workload::TrafficSpec;
+use basrpt::switch::run as run_switch;
 use std::error::Error;
 
 fn switch_sweep() {
@@ -63,7 +60,7 @@ fn fabric_sweep() -> Result<(), Box<dyn Error>> {
             &topo,
             &mut sched,
             spec.generator(7)?,
-            SimConfig::new(SimTime::from_secs(3.0)),
+            SimConfig::builder().horizon(SimTime::from_secs(3.0)).build(),
         )?;
         let q = run.fct.summary(FlowClass::Query).expect("queries finish");
         let b = run

@@ -19,20 +19,21 @@
 //! | [`fabric`] | `dcn-fabric` | event-driven flow-level fat-tree simulator |
 //! | [`workload`] | `dcn-workload` | empirical CDFs and the paper's traffic pattern |
 //! | [`metrics`] | `dcn-metrics` | FCT/throughput/stability analysis |
+//! | [`probe`] | `dcn-probe` | event-level observability (the [`probe::Probe`] API) |
+//!
+//! The [`prelude`] re-exports the handful of names almost every program
+//! needs, so examples start with a single `use basrpt::prelude::*;`.
 //!
 //! # Quickstart
 //!
 //! Compare SRPT against fast BASRPT on a small fabric at high load:
 //!
 //! ```
-//! use basrpt::core::{FastBasrpt, Scheduler, Srpt};
-//! use basrpt::fabric::{simulate, FatTree, SimConfig};
-//! use basrpt::types::SimTime;
-//! use basrpt::workload::TrafficSpec;
+//! use basrpt::prelude::*;
 //!
 //! let topo = FatTree::scaled(2, 4, 1)?;
 //! let spec = TrafficSpec::scaled(2, 4, 0.9)?;
-//! let config = SimConfig::new(SimTime::from_secs(0.2));
+//! let config = SimConfig::builder().horizon(SimTime::from_secs(0.2)).build();
 //!
 //! let srpt = simulate(&topo, &mut Srpt::new(), spec.generator(1)?, config)?;
 //! let mut fb = FastBasrpt::new(2500.0, topo.num_hosts() as usize);
@@ -79,8 +80,50 @@ pub mod metrics {
     pub use dcn_metrics::*;
 }
 
+/// Event-level observability (re-export of `dcn-probe`).
+pub mod probe {
+    pub use dcn_probe::*;
+}
+
 pub use basrpt_core::{
     ExactBasrpt, FastBasrpt, Fifo, MaxWeight, PenaltyKind, RoundRobin, Scheduler, Srpt,
     ThresholdBacklogSrpt,
 };
 pub use dcn_types::{Bytes, FlowClass, FlowId, HostId, RackId, Rate, SimTime, Slot, Voq};
+
+/// The names almost every program needs, importable in one line.
+///
+/// Covers the schedulers, both simulators' entry points, workload
+/// generation, the common id/unit types, and the probe API. Anything more
+/// specialised (metrics internals, Lyapunov tooling, topology errors) stays
+/// behind its module path.
+///
+/// # Example
+///
+/// ```
+/// use basrpt::prelude::*;
+///
+/// let topo = FatTree::scaled(2, 4, 1)?;
+/// let spec = TrafficSpec::scaled(2, 4, 0.5)?;
+/// let run = FabricSim::new(&topo)
+///     .config(SimConfig::builder().horizon(SimTime::from_secs(0.05)).build())
+///     .scheduler(&mut Srpt::new())
+///     .workload(spec.generator(7)?)
+///     .run()?;
+/// assert!(run.completions > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub mod prelude {
+    pub use basrpt_core::{
+        ExactBasrpt, FastBasrpt, Fifo, FlowTable, MaxWeight, PenaltyKind, RoundRobin, Schedule,
+        Scheduler, Srpt, ThresholdBacklogSrpt,
+    };
+    pub use dcn_fabric::{simulate, FabricRun, FabricSim, FatTree, SimConfig};
+    pub use dcn_metrics::{StabilityReport, TimeSeries, TrendConfig};
+    pub use dcn_probe::{
+        BacklogSampler, DriftProbe, EventCounterProbe, Fanout, JsonlProbe, NoProbe, Probe,
+    };
+    pub use dcn_switch::{RunConfig, SlottedSwitch};
+    pub use dcn_types::{Bytes, FlowClass, FlowId, HostId, RackId, Rate, SimTime, Slot, Voq};
+    pub use dcn_workload::{FlowArrival, TrafficSpec};
+}

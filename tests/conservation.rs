@@ -28,7 +28,7 @@ fn run(sched: &mut dyn Scheduler, seed: u64, load: f64) -> FabricRun {
         &topo,
         sched,
         spec.generator(seed).expect("valid"),
-        SimConfig::new(SimTime::from_secs(0.2)),
+        SimConfig::builder().horizon(SimTime::from_secs(0.2)).build(),
     )
     .expect("valid simulation")
 }

@@ -16,7 +16,7 @@ fn run_gadget(scheduler: &mut dyn Scheduler, horizon_secs: f64) -> FabricRun {
         &topo,
         scheduler,
         script,
-        SimConfig::new(SimTime::from_secs(horizon_secs)),
+        SimConfig::builder().horizon(SimTime::from_secs(horizon_secs)).build(),
     )
     .expect("valid simulation")
 }

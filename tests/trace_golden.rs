@@ -1,0 +1,125 @@
+//! Golden-file test pinning the JSONL trace schema.
+//!
+//! A fully scripted slotted-switch run is traced through [`JsonlProbe`]
+//! and compared byte-for-byte against `tests/golden/trace.jsonl`. Any
+//! change to the emitted field names, field order or number formatting
+//! shows up as a diff against the checked-in golden — bump the golden
+//! deliberately with
+//!
+//! ```sh
+//! cargo test --test trace_golden -- --ignored bless_golden
+//! ```
+//!
+//! Decision wall-latency is the one non-deterministic field, so the trace
+//! is taken through a wrapper probe that opts out of decision timing —
+//! the engine then passes `latency: None` and the `latency_ns` field is
+//! omitted (its presence is covered by `trace_run` and the probe's unit
+//! tests).
+
+use basrpt::prelude::*;
+use basrpt::probe::jsonl::{parse_line, JsonValue};
+use basrpt::probe::{ArrivalEvent, CompletionEvent, DecisionEvent, DrainEvent, SampleEvent};
+use basrpt::switch::{run_probed, ScriptedArrivals};
+use std::io::Write;
+
+const GOLDEN_PATH: &str = "tests/golden/trace.jsonl";
+const GOLDEN: &str = include_str!("golden/trace.jsonl");
+
+/// Delegates every event to the inner probe but declines decision
+/// timing, keeping the trace deterministic.
+struct NoTiming<P>(P);
+
+impl<P: Probe> Probe for NoTiming<P> {
+    fn wants_decision_timing(&self) -> bool {
+        false
+    }
+    fn on_arrival(&mut self, event: &ArrivalEvent) {
+        self.0.on_arrival(event);
+    }
+    fn on_drain(&mut self, event: &DrainEvent) {
+        self.0.on_drain(event);
+    }
+    fn on_completion(&mut self, event: &CompletionEvent) {
+        self.0.on_completion(event);
+    }
+    fn on_decision(&mut self, event: &DecisionEvent<'_>) {
+        self.0.on_decision(event);
+    }
+    fn on_sample(&mut self, event: &SampleEvent<'_>) {
+        self.0.on_sample(event);
+    }
+}
+
+/// The scripted scenario: 2 ports, 3 flows (two at slot 0, one at
+/// slot 2), SRPT, 8 slots, sampling every 2 slots. Fully deterministic.
+fn scripted_trace() -> String {
+    let mut arrivals = ScriptedArrivals::new(vec![
+        (0, Voq::new(HostId::new(0), HostId::new(1)), 3),
+        (0, Voq::new(HostId::new(1), HostId::new(0)), 2),
+        (2, Voq::new(HostId::new(0), HostId::new(1)), 1),
+    ]);
+    let mut sched = Srpt::new();
+    let mut probe = NoTiming(JsonlProbe::new(Vec::new()));
+    let config = RunConfig {
+        slots: 8,
+        sample_every: 2,
+    };
+    run_probed(2, &mut sched, &mut arrivals, config, &mut probe);
+    let bytes = probe.0.finish().expect("a Vec sink cannot fail");
+    String::from_utf8(bytes).expect("the trace is UTF-8")
+}
+
+#[test]
+fn trace_matches_golden_byte_for_byte() {
+    assert_eq!(
+        scripted_trace(),
+        GOLDEN,
+        "JSONL trace schema drifted from {GOLDEN_PATH}; if intentional, \
+         re-bless with `cargo test --test trace_golden -- --ignored bless_golden`"
+    );
+}
+
+#[test]
+fn golden_lines_parse_with_expected_fields() {
+    assert!(!GOLDEN.trim().is_empty(), "golden trace must not be empty");
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for line in GOLDEN.lines() {
+        let fields = parse_line(line).expect("every golden line parses");
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        let kind = match &fields[0] {
+            (k, JsonValue::String(s)) if k == "event" => s.clone(),
+            other => panic!("first field must be a string \"event\", got {other:?}"),
+        };
+        assert!(
+            matches!(&fields[1], (k, JsonValue::Number(t)) if k == "t" && t.is_finite()),
+            "second field must be a finite number \"t\" in {line:?}"
+        );
+        let expected: &[&str] = match kind.as_str() {
+            "arrival" => &["event", "t", "flow", "src", "dst", "size"],
+            "drain" => &["event", "t", "flow", "src", "dst", "amount"],
+            "completion" => &["event", "t", "flow", "src", "dst", "size", "fct"],
+            // No latency_ns: the golden is traced without decision timing.
+            "decision" => &["event", "t", "selected"],
+            "sample" => &["event", "t", "backlog", "flows", "delivered"],
+            other => panic!("unknown event kind {other:?} in golden trace"),
+        };
+        assert_eq!(names, expected, "field set drifted for {kind} in {line:?}");
+        kinds_seen.insert(kind);
+    }
+    // The scenario is small but still exercises the whole taxonomy.
+    assert_eq!(
+        kinds_seen.into_iter().collect::<Vec<_>>(),
+        ["arrival", "completion", "decision", "drain", "sample"]
+    );
+}
+
+/// Regenerates the golden file. Ignored by default; run explicitly after
+/// an intentional schema change and commit the diff.
+#[test]
+#[ignore = "writes tests/golden/trace.jsonl; run only to bless a schema change"]
+fn bless_golden() {
+    let trace = scripted_trace();
+    let mut f = std::fs::File::create(GOLDEN_PATH).expect("golden path is writable");
+    f.write_all(trace.as_bytes()).expect("golden write succeeds");
+    println!("wrote {} lines to {GOLDEN_PATH}", trace.lines().count());
+}

@@ -1,12 +1,17 @@
 # Developer entry points. `make verify` is the tier-1 gate from ROADMAP.md.
 
-.PHONY: verify test bench-smoke trace-smoke docs clean
+.PHONY: verify lint test bench-smoke trace-smoke docs clean
 
 # Tier-1: release build + the root package's quiet test run, plus the
-# trace round-trip smoke.
-verify: trace-smoke
+# trace round-trip smoke and a warning-free lint/format gate.
+verify: trace-smoke lint
 	cargo build --release
 	cargo test -q
+
+# Zero-warning clippy across every target, and formatting is canonical.
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+	cargo fmt --check
 
 # The full workspace test suite (unit + integration + property + doctests).
 test:

@@ -176,10 +176,7 @@ impl VoqDiscipline for crate::ThresholdBacklogSrpt {
 
     fn rank(&self, view: &VoqView) -> ((bool, u64), FlowId) {
         (
-            (
-                view.backlog <= self.threshold(),
-                view.shortest_remaining,
-            ),
+            (view.backlog <= self.threshold(), view.shortest_remaining),
             view.shortest_flow,
         )
     }

@@ -36,6 +36,13 @@ impl fmt::Display for FlowTableError {
 impl Error for FlowTableError {}
 
 /// Result of draining units from a flow via [`FlowTable::drain`].
+///
+/// `drained` only falls short of the requested amount when the request
+/// exceeds the flow's remaining units. Callers that derive their requests
+/// from the remaining size — like the fabric engine's exact epoch
+/// accounting, which clamps its integer drain target to the bytes
+/// outstanding — always see `drained` equal to the request, and a
+/// `completed` outcome exactly when the target reaches the flow size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DrainOutcome {
     /// Units actually removed from the flow (≤ the requested amount).
@@ -578,7 +585,10 @@ mod tests {
         for _ in 0..2_000 {
             t.drain(FlowId::new(1), 1).unwrap();
         }
-        assert!(t.changes_since(start).is_none(), "log should have compacted");
+        assert!(
+            t.changes_since(start).is_none(),
+            "log should have compacted"
+        );
         assert!(t.change_log_end() >= start + 2_000);
         t.check_invariants().unwrap();
     }

@@ -50,8 +50,12 @@ impl Pairs {
             .unwrap_or_else(|e| panic!("{context}: {e}"));
         check_equivalence(&mut self.fifo, &mut Fifo::new(), table)
             .unwrap_or_else(|e| panic!("{context}: {e}"));
-        check_equivalence(&mut self.threshold, &mut ThresholdBacklogSrpt::new(200), table)
-            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        check_equivalence(
+            &mut self.threshold,
+            &mut ThresholdBacklogSrpt::new(200),
+            table,
+        )
+        .unwrap_or_else(|e| panic!("{context}: {e}"));
     }
 }
 

@@ -61,7 +61,7 @@ fn bench_disciplines(c: &mut Criterion) {
             ("fifo", Box::new(Fifo::new())),
         ];
         for (name, sched) in schedulers.iter_mut() {
-            group.bench_with_input(BenchmarkId::new(*name, flows), &table, |b, t| {
+            group.bench_with_input(BenchmarkId::new(name, flows), &table, |b, t| {
                 b.iter(|| sched.schedule(std::hint::black_box(t)))
             });
         }
@@ -113,12 +113,16 @@ fn bench_per_event(c: &mut Criterion) {
             let mut table = table_with(n, flows, 42);
             let mut sched = FastBasrpt::new(2500.0, n as usize);
             let mut cursor = 0usize;
-            group.bench_with_input(BenchmarkId::new("fast_basrpt_one_pass", n), &flows, |b, &f| {
-                b.iter(|| {
-                    one_event(&mut table, &mut cursor, f);
-                    sched.schedule(std::hint::black_box(&table))
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("fast_basrpt_one_pass", n),
+                &flows,
+                |b, &f| {
+                    b.iter(|| {
+                        one_event(&mut table, &mut cursor, f);
+                        sched.schedule(std::hint::black_box(&table))
+                    })
+                },
+            );
         }
         {
             let mut table = table_with(n, flows, 42);
@@ -190,7 +194,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut sched = Srpt::new();
             let generator = spec.generator(42).expect("valid spec");
-            simulate(&topo, &mut sched, generator, config.clone()).expect("valid simulation")
+            simulate(&topo, &mut sched, generator, config).expect("valid simulation")
         })
     });
     group.bench_function("builder_noprobe", |b| {
@@ -198,7 +202,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut sched = Srpt::new();
             let generator = spec.generator(42).expect("valid spec");
             FabricSim::new(&topo)
-                .config(config.clone())
+                .config(config)
                 .scheduler(&mut sched)
                 .workload(generator)
                 .probe(NoProbe)
@@ -211,7 +215,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut sched = Srpt::new();
             let generator = spec.generator(42).expect("valid spec");
             FabricSim::new(&topo)
-                .config(config.clone())
+                .config(config)
                 .scheduler(&mut sched)
                 .workload(generator)
                 .probe(EventCounterProbe::new())
@@ -224,11 +228,101 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut sched = Srpt::new();
             let generator = spec.generator(42).expect("valid spec");
             FabricSim::new(&topo)
-                .config(config.clone())
+                .config(config)
                 .scheduler(&mut sched)
                 .workload(generator)
                 .probe(JsonlProbe::new(std::io::sink()))
                 .run()
+                .expect("valid simulation")
+        })
+    });
+    group.finish();
+}
+
+/// Next-event lookup cost inside the fabric event loop: the seed engine
+/// rescanned every scheduled flow on every wakeup (`next_completion_scan`,
+/// `O(n)`), while the indexed `CompletionCalendar` answers from a
+/// validated heap top (`next_completion_calendar`, `O(1)` between schedule
+/// changes, `O(log n)` amortized across them). The
+/// `calendar_reschedule_unchanged` row prices the engine's common case of
+/// re-submitting a mostly identical schedule — the diff pushes nothing, so
+/// the cost is iteration only, with zero heap churn. The `engine_*` rows
+/// measure the end-to-end gap on the paper's 144-host fabric, where the
+/// scheduled set is large enough for the lookup to matter.
+fn bench_event_loop(c: &mut Criterion) {
+    use dcn_fabric::{reference, simulate, CompletionCalendar, FatTree, SimConfig};
+    use dcn_types::SimTime;
+    use dcn_workload::TrafficSpec;
+
+    let mut group = c.benchmark_group("event_loop");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    for &n in &[64usize, 256, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pairs: Vec<(FlowId, SimTime)> = (0..n)
+            .map(|i| {
+                (
+                    FlowId::new(i as u64),
+                    SimTime::from_micros(rng.gen_range(1.0..1e6)),
+                )
+            })
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("next_completion_scan", n),
+            &pairs,
+            |b, p| {
+                b.iter(|| {
+                    p.iter()
+                        .map(|&(_, at)| at)
+                        .min()
+                        .unwrap_or(SimTime::INFINITY)
+                })
+            },
+        );
+
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule(pairs.iter().copied());
+        group.bench_with_input(
+            BenchmarkId::new("next_completion_calendar", n),
+            &(),
+            |b, _| b.iter(|| cal.next_completion()),
+        );
+
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule(pairs.iter().copied());
+        group.bench_with_input(
+            BenchmarkId::new("calendar_reschedule_unchanged", n),
+            &pairs,
+            |b, p| {
+                b.iter(|| {
+                    cal.set_schedule(p.iter().copied());
+                    cal.next_completion()
+                })
+            },
+        );
+    }
+
+    let topo = FatTree::paper_topology();
+    let spec = TrafficSpec::paper_default(0.9).expect("valid load");
+    let config = SimConfig::builder()
+        .horizon(SimTime::from_millis(5.0))
+        .build();
+    group.bench_function("engine_calendar_paper_fabric", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            let generator = spec.generator(42).expect("valid spec");
+            simulate(&topo, &mut sched, generator, config).expect("valid simulation")
+        })
+    });
+    group.bench_function("engine_scan_paper_fabric", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            let generator = spec.generator(42).expect("valid spec");
+            reference::simulate_scan(&topo, &mut sched, generator, config)
                 .expect("valid simulation")
         })
     });
@@ -266,6 +360,7 @@ criterion_group!(
     bench_disciplines,
     bench_per_event,
     bench_probe_overhead,
+    bench_event_loop,
     bench_exact_blowup
 );
 criterion_main!(benches);

@@ -61,10 +61,16 @@ fn seed_sweep(scale: Scale, seeds: &[u64]) {
             runs.iter().map(|(_, run)| f(run)).collect()
         };
         let q_avg = SeedStats::from_samples(&metric(&|r| {
-            r.fct.summary(FlowClass::Query).expect("queries finish").mean_ms()
+            r.fct
+                .summary(FlowClass::Query)
+                .expect("queries finish")
+                .mean_ms()
         }));
         let q_p99 = SeedStats::from_samples(&metric(&|r| {
-            r.fct.summary(FlowClass::Query).expect("queries finish").p99_ms()
+            r.fct
+                .summary(FlowClass::Query)
+                .expect("queries finish")
+                .p99_ms()
         }));
         let b_avg = SeedStats::from_samples(&metric(&|r| {
             r.fct

@@ -85,10 +85,7 @@ impl SeedStats {
 /// The seeds to sweep, from `BASRPT_SEEDS` (see the module docs);
 /// `default_seed` is the bench's recorded single-run seed.
 pub fn seeds_from_env(default_seed: u64) -> Vec<u64> {
-    parse_seeds(
-        std::env::var("BASRPT_SEEDS").ok().as_deref(),
-        default_seed,
-    )
+    parse_seeds(std::env::var("BASRPT_SEEDS").ok().as_deref(), default_seed)
 }
 
 fn parse_seeds(spec: Option<&str>, default_seed: u64) -> Vec<u64> {
@@ -145,7 +142,9 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&seed) = seeds.get(i) else { break };
                 let result = job(seed);
-                *slots[i].lock().expect("no worker panicked holding the lock") = Some(result);
+                *slots[i]
+                    .lock()
+                    .expect("no worker panicked holding the lock") = Some(result);
             });
         }
     });

@@ -1,0 +1,233 @@
+//! The indexed completion calendar: a lazily invalidated binary min-heap
+//! over the scheduled flows' completion instants.
+//!
+//! The event loop needs "when does the next scheduled flow complete?" on
+//! every wakeup. The seed engine answered that with a linear rescan of all
+//! scheduled flows (a division per flow per wakeup — `O(n)` even when the
+//! wakeup is just a sample point). The calendar answers it from a binary
+//! heap keyed by `(completion instant, flow id)`:
+//!
+//! * [`set_schedule`](CompletionCalendar::set_schedule) diffs the new
+//!   scheduled set against the current one and pushes heap entries only
+//!   for flows whose completion instant actually changed — a flow that
+//!   stays scheduled across a reschedule keeps its entry untouched;
+//! * superseded and descheduled entries are **not** removed from the heap;
+//!   they are invalidated lazily: [`next_completion`]
+//!   (CompletionCalendar::next_completion) pops stale tops (entries whose
+//!   `(flow, instant)` no longer matches the live map) until a live entry
+//!   — or an empty heap — remains.
+//!
+//! Every heap entry is pushed once and popped at most once, so the
+//! amortized cost per schedule change is `O(log n)` and a wakeup between
+//! schedule changes costs `O(1)` (a peek at an already-validated top).
+//!
+//! The calendar stores instants, not flow state: exact drain accounting
+//! (which instant a flow completes at) is the engine's job — see
+//! `engine.rs` — and the calendar never re-derives completion times.
+
+use dcn_types::{FlowId, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An indexed calendar of flow-completion instants with lazy invalidation.
+///
+/// # Example
+///
+/// ```
+/// use dcn_fabric::CompletionCalendar;
+/// use dcn_types::{FlowId, SimTime};
+///
+/// let mut cal = CompletionCalendar::new();
+/// cal.set_schedule([
+///     (FlowId::new(1), SimTime::from_millis(3.0)),
+///     (FlowId::new(2), SimTime::from_millis(1.0)),
+/// ]);
+/// assert_eq!(cal.next_completion(), SimTime::from_millis(1.0));
+///
+/// // Flow 2 leaves the schedule; flow 1 keeps its instant.
+/// cal.set_schedule([(FlowId::new(1), SimTime::from_millis(3.0))]);
+/// assert_eq!(cal.next_completion(), SimTime::from_millis(3.0));
+/// ```
+#[derive(Debug, Default)]
+pub struct CompletionCalendar {
+    /// Min-heap of `(instant, flow)` entries, possibly stale.
+    heap: BinaryHeap<Reverse<(SimTime, FlowId)>>,
+    /// The live completion instant per scheduled flow; the heap entry for
+    /// a flow is valid iff it matches this map exactly.
+    live: HashMap<FlowId, SimTime>,
+}
+
+impl CompletionCalendar {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        CompletionCalendar::default()
+    }
+
+    /// Number of currently scheduled flows.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no flow is currently scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of heap entries, including stale ones awaiting lazy removal
+    /// (diagnostics; always ≥ [`len`](CompletionCalendar::len)).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Replaces the scheduled set with `schedule` (`(flow, completion
+    /// instant)` pairs). Flows absent from `schedule` are descheduled;
+    /// flows whose instant is unchanged keep their existing heap entry;
+    /// new or changed pairs push one heap entry each. If a flow appears
+    /// more than once, the last pair wins.
+    pub fn set_schedule<I>(&mut self, schedule: I)
+    where
+        I: IntoIterator<Item = (FlowId, SimTime)>,
+    {
+        let mut next: HashMap<FlowId, SimTime> = HashMap::with_capacity(self.live.len());
+        for (flow, at) in schedule {
+            if self.live.get(&flow) != Some(&at) {
+                self.heap.push(Reverse((at, flow)));
+            }
+            // Within one call, a repeated flow overwrites its earlier pair;
+            // the earlier heap entry goes stale like any superseded one.
+            next.insert(flow, at);
+        }
+        self.live = next;
+    }
+
+    /// The earliest live completion instant, or [`SimTime::INFINITY`] when
+    /// nothing is scheduled. Amortized `O(1)`: stale heap tops are popped
+    /// here, each at most once over the calendar's lifetime.
+    pub fn next_completion(&mut self) -> SimTime {
+        while let Some(&Reverse((at, flow))) = self.heap.peek() {
+            if self.live.get(&flow) == Some(&at) {
+                return at;
+            }
+            self.heap.pop();
+        }
+        SimTime::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u64) -> FlowId {
+        FlowId::new(id)
+    }
+
+    fn ms(v: f64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_calendar_never_completes() {
+        let mut cal = CompletionCalendar::new();
+        assert!(cal.is_empty());
+        assert_eq!(cal.next_completion(), SimTime::INFINITY);
+    }
+
+    #[test]
+    fn reports_minimum_instant() {
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule([(f(1), ms(5.0)), (f(2), ms(2.0)), (f(3), ms(9.0))]);
+        assert_eq!(cal.len(), 3);
+        assert_eq!(cal.next_completion(), ms(2.0));
+        // Peeking is idempotent.
+        assert_eq!(cal.next_completion(), ms(2.0));
+    }
+
+    #[test]
+    fn descheduled_flows_are_lazily_dropped() {
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule([(f(1), ms(1.0)), (f(2), ms(2.0))]);
+        assert_eq!(cal.next_completion(), ms(1.0));
+        cal.set_schedule([(f(2), ms(2.0))]);
+        // Flow 1's entry is stale but still on the heap until looked past.
+        assert_eq!(cal.heap_len(), 2);
+        assert_eq!(cal.next_completion(), ms(2.0));
+        assert_eq!(cal.heap_len(), 1);
+    }
+
+    #[test]
+    fn rescheduling_updates_instants() {
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule([(f(1), ms(4.0))]);
+        assert_eq!(cal.next_completion(), ms(4.0));
+        // The flow pauses and resumes later: a new, later instant.
+        cal.set_schedule([(f(1), ms(7.0))]);
+        assert_eq!(cal.next_completion(), ms(7.0));
+        // An earlier instant also takes effect immediately.
+        cal.set_schedule([(f(1), ms(3.0))]);
+        assert_eq!(cal.next_completion(), ms(3.0));
+    }
+
+    #[test]
+    fn unchanged_flows_do_not_grow_the_heap() {
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule([(f(1), ms(4.0)), (f(2), ms(6.0))]);
+        let before = cal.heap_len();
+        for _ in 0..100 {
+            cal.set_schedule([(f(1), ms(4.0)), (f(2), ms(6.0))]);
+        }
+        assert_eq!(cal.heap_len(), before, "identical reschedules must be free");
+    }
+
+    #[test]
+    fn ties_are_deterministic_and_both_reported() {
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule([(f(2), ms(1.0)), (f(1), ms(1.0))]);
+        assert_eq!(cal.next_completion(), ms(1.0));
+        // Both complete: the engine drains every flow with an instant <= t,
+        // so the calendar only needs the minimum, not the full tie set.
+        cal.set_schedule(std::iter::empty());
+        assert_eq!(cal.next_completion(), SimTime::INFINITY);
+    }
+
+    #[test]
+    fn duplicate_flow_in_one_schedule_takes_the_last_pair() {
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule([(f(1), ms(1.0)), (f(1), ms(5.0))]);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.next_completion(), ms(5.0));
+    }
+
+    #[test]
+    fn interleaved_churn_stays_consistent() {
+        // A randomized-ish torture loop: compare against a naive model.
+        let mut cal = CompletionCalendar::new();
+        let mut model: Vec<(u64, f64)> = Vec::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for step in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n = (x >> 60) as usize; // 0..16 flows
+            model.clear();
+            for _ in 0..n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let id = (x >> 13) % 8;
+                let at = ((x >> 29) % 1000) as f64 / 10.0 + step as f64;
+                // Last pair wins in the model too.
+                model.retain(|&(m, _)| m != id);
+                model.push((id, at));
+            }
+            cal.set_schedule(model.iter().map(|&(id, at)| (f(id), ms(at))));
+            let want = model
+                .iter()
+                .map(|&(_, at)| ms(at))
+                .min()
+                .unwrap_or(SimTime::INFINITY);
+            assert_eq!(cal.next_completion(), want, "step {step}");
+            assert_eq!(cal.len(), model.len());
+        }
+    }
+}

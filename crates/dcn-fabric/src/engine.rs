@@ -1,5 +1,6 @@
 //! The event-driven flow-level simulation engine.
 
+use crate::calendar::CompletionCalendar;
 use crate::FatTree;
 use basrpt_core::{FlowState, FlowTable, Scheduler};
 use dcn_metrics::{
@@ -96,7 +97,10 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `horizon` is zero or infinite.
-    #[deprecated(since = "0.2.0", note = "use `SimConfig::builder().horizon(..).build()`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimConfig::builder().horizon(..).build()`"
+    )]
     pub fn new(horizon: SimTime) -> Self {
         SimConfig::builder().horizon(horizon).build()
     }
@@ -316,6 +320,104 @@ fn enforce_core_capacity(
     out
 }
 
+/// Drain-accounting state of one scheduled flow.
+///
+/// A scheduled flow drains at the edge line rate from the instant it was
+/// admitted into the scheduled set — its **epoch** — until it completes or
+/// is descheduled. All byte arithmetic is anchored at the epoch: at any
+/// event instant `t`, the cumulative bytes owed are derived **once** from
+/// the total elapsed time `t - epoch` via [`Rate::bytes_in`] (one floor),
+/// and the per-event drain is the integer difference against what has
+/// already been settled. Increments therefore sum exactly — no per-event
+/// rounding can accumulate — and the completion instant is the analytic
+/// `epoch + epoch_remaining / rate`, at which the entry force-settles its
+/// exact remaining bytes (no 1-byte residue wakeups).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScheduledEntry {
+    flow: FlowId,
+    voq: Voq,
+    /// When this entry's accounting epoch started (admission into the
+    /// current scheduled set; survives reschedules that keep the flow).
+    epoch: SimTime,
+    /// Remaining bytes at `epoch`.
+    epoch_remaining: u64,
+    /// Bytes drained from the table since `epoch` (≤ `epoch_remaining`).
+    settled: u64,
+    /// Exact completion instant: `epoch + epoch_remaining / rate`.
+    completes_at: SimTime,
+}
+
+impl ScheduledEntry {
+    fn new(flow: FlowId, voq: Voq, now: SimTime, remaining: u64, rate: Rate) -> Self {
+        ScheduledEntry {
+            flow,
+            voq,
+            epoch: now,
+            epoch_remaining: remaining,
+            settled: 0,
+            completes_at: now + rate.transfer_time(Bytes::new(remaining)),
+        }
+    }
+
+    /// Cumulative bytes owed by instant `t`: a single conversion of the
+    /// total elapsed time since the epoch, clamped to the entry's size and
+    /// forced to exactly `epoch_remaining` at (or past) the analytic
+    /// completion instant.
+    fn target_at(&self, t: SimTime, rate: Rate) -> u64 {
+        if t >= self.completes_at {
+            self.epoch_remaining
+        } else {
+            rate.bytes_in(t - self.epoch)
+                .as_u64()
+                .min(self.epoch_remaining)
+        }
+    }
+}
+
+/// How the event loop finds the earliest completion among scheduled flows.
+///
+/// Two implementations: the production [`CompletionCalendar`] (indexed,
+/// `O(log n)` amortized) and the retained linear rescan (the seed engine's
+/// strategy, kept as the differential-testing reference — see
+/// [`crate::reference`]). Both read the same exact `completes_at` instants
+/// from the entries, so the choice cannot change a single bit of output.
+pub(crate) trait CompletionLookup {
+    /// The scheduled set was replaced.
+    fn on_reschedule(&mut self, entries: &[ScheduledEntry]);
+    /// The earliest completion instant, or [`SimTime::INFINITY`].
+    fn next_completion(&mut self, entries: &[ScheduledEntry]) -> SimTime;
+}
+
+/// Production lookup: the indexed completion calendar.
+#[derive(Debug, Default)]
+pub(crate) struct CalendarLookup(CompletionCalendar);
+
+impl CompletionLookup for CalendarLookup {
+    fn on_reschedule(&mut self, entries: &[ScheduledEntry]) {
+        self.0
+            .set_schedule(entries.iter().map(|e| (e.flow, e.completes_at)));
+    }
+    fn next_completion(&mut self, _entries: &[ScheduledEntry]) -> SimTime {
+        self.0.next_completion()
+    }
+}
+
+/// Reference lookup: the seed engine's `O(n)` rescan of every scheduled
+/// flow on every wakeup.
+#[derive(Debug, Default)]
+pub(crate) struct ScanLookup;
+
+impl CompletionLookup for ScanLookup {
+    fn on_reschedule(&mut self, _entries: &[ScheduledEntry]) {}
+    fn next_completion(&mut self, entries: &[ScheduledEntry]) -> SimTime {
+        entries
+            .iter()
+            .map(|e| e.completes_at)
+            .min()
+            .unwrap_or(SimTime::INFINITY)
+    }
+}
+
 /// Runs one flow-level simulation.
 ///
 /// Flows arrive from `generator` (any time-ordered arrival stream — the
@@ -342,12 +444,8 @@ pub fn simulate<S: Scheduler + ?Sized>(
 }
 
 /// The probe-instrumented event loop behind [`simulate`] and the
-/// [`FabricSim`](crate::FabricSim) builder.
-///
-/// The engine always composes an internal [`BacklogSampler`] (which fills
-/// `FabricRun`'s time-series fields exactly as the pre-probe engine did)
-/// with the caller's `probe` via [`Fanout`]; with [`NoProbe`] the whole
-/// observer layer monomorphizes down to the unobserved loop.
+/// [`FabricSim`](crate::FabricSim) builder, using the indexed
+/// [`CompletionCalendar`] for next-event lookup.
 pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
     topo: &FatTree,
     scheduler: &mut S,
@@ -355,13 +453,65 @@ pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
     config: SimConfig,
     probe: P,
 ) -> Result<FabricRun, FabricError> {
+    run_loop(
+        topo,
+        scheduler,
+        generator,
+        config,
+        probe,
+        CalendarLookup::default(),
+    )
+}
+
+/// The reference event loop with the linear completion rescan (see
+/// [`crate::reference`]).
+pub(crate) fn run_scan_with_probe<S: Scheduler + ?Sized, P: Probe>(
+    topo: &FatTree,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+) -> Result<FabricRun, FabricError> {
+    run_loop(topo, scheduler, generator, config, probe, ScanLookup)
+}
+
+/// The event loop, generic over the completion-lookup strategy.
+///
+/// The engine always composes an internal [`BacklogSampler`] (which fills
+/// `FabricRun`'s time-series fields) with the caller's `probe` via
+/// [`Fanout`]; with [`NoProbe`] the whole observer layer monomorphizes
+/// down to the unobserved loop.
+///
+/// Event ordering within one instant: completions (drains settle first),
+/// then arrivals, then the sample, then the scheduling decision — so a
+/// sample taken at an instant with coincident arrivals sees them (a run
+/// whose workload starts at `t = 0` no longer records a spurious all-zero
+/// first point).
+fn run_loop<S, P, L>(
+    topo: &FatTree,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+    mut lookup: L,
+) -> Result<FabricRun, FabricError>
+where
+    S: Scheduler + ?Sized,
+    P: Probe,
+    L: CompletionLookup,
+{
     let mut generator = generator.into_iter();
     let edge_rate = topo.edge_rate();
     let enforce_core = config.enforce_core_capacity || !topo.is_full_bisection();
 
     let mut table = FlowTable::new();
     let mut meta: HashMap<FlowId, FlowMeta> = HashMap::new();
-    let mut scheduled: Vec<(FlowId, Voq)> = Vec::new();
+    // The scheduled set, in schedule-priority order, with per-entry drain
+    // epochs (see `ScheduledEntry`).
+    let mut entries: Vec<ScheduledEntry> = Vec::new();
+    // Scratch map reused across reschedules to carry accounting state of
+    // flows that stay scheduled.
+    let mut carry: HashMap<FlowId, ScheduledEntry> = HashMap::new();
 
     let mut fct = FctRecorder::new();
     let mut fct_by_size = SizeBucketRecorder::pfabric_buckets();
@@ -381,31 +531,29 @@ pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
     loop {
         // --- determine the next event instant ---
         let t_arrival = next_arrival.as_ref().map_or(SimTime::INFINITY, |a| a.time);
-        let t_completion = scheduled
-            .iter()
-            .map(|&(id, _)| {
-                let remaining = table.get(id).expect("scheduled flow is active").remaining();
-                clock + edge_rate.transfer_time(Bytes::new(remaining))
-            })
-            .min()
-            .unwrap_or(SimTime::INFINITY);
+        let t_completion = lookup.next_completion(&entries);
         let t = t_arrival
             .min(t_completion)
             .min(next_sample)
             .min(config.horizon);
 
-        // --- advance: drain every scheduled flow over [clock, t) ---
+        // --- advance: settle every scheduled flow's account at t ---
         let elapsed = t - clock;
         let mut completed_any = false;
         if elapsed > SimTime::ZERO {
-            for &(id, voq) in &scheduled {
-                let remaining = table.get(id).expect("scheduled flow is active").remaining();
-                let amount =
-                    ((edge_rate.bytes_per_sec() * elapsed.as_secs()).round() as u64).min(remaining);
+            let mut i = 0;
+            while i < entries.len() {
+                let entry = &mut entries[i];
+                let target = entry.target_at(t, edge_rate);
+                let amount = target - entry.settled;
                 if amount == 0 {
+                    i += 1;
                     continue;
                 }
+                entry.settled = target;
+                let (id, voq) = (entry.flow, entry.voq);
                 let outcome = table.drain(id, amount).expect("scheduled flow is active");
+                debug_assert_eq!(outcome.drained, amount, "exact drain cannot be short");
                 throughput.deliver(Bytes::new(outcome.drained));
                 fan.on_drain(&DrainEvent {
                     time: t.as_secs(),
@@ -428,6 +576,11 @@ pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
                     completions_count += 1;
                     completed_any = true;
                     debug_assert_eq!(voq, done.voq());
+                    // Preserve priority order for the rest of this pass; the
+                    // pending reschedule rebuilds the vector anyway.
+                    entries.remove(i);
+                } else {
+                    i += 1;
                 }
             }
         }
@@ -435,16 +588,6 @@ pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
 
         if clock >= config.horizon {
             break;
-        }
-
-        // --- sampling ---
-        if next_sample <= clock {
-            fan.on_sample(&SampleEvent {
-                time: clock.as_secs(),
-                table: &table,
-                delivered: throughput.delivered().as_f64(),
-            });
-            next_sample += config.sample_every;
         }
 
         // --- arrivals landing at (or before) the current instant ---
@@ -483,6 +626,17 @@ pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
             next_arrival = generator.next();
         }
 
+        // --- sampling (after same-instant arrivals, so a t = 0 sample
+        //     records the admitted backlog, not a spurious zero) ---
+        if next_sample <= clock {
+            fan.on_sample(&SampleEvent {
+                time: clock.as_secs(),
+                table: &table,
+                delivered: throughput.delivered().as_f64(),
+            });
+            next_sample += config.sample_every;
+        }
+
         // --- reschedule on arrival or completion (the paper's update rule) ---
         if arrived_any || completed_any {
             let started = fan.wants_decision_timing().then(Instant::now);
@@ -493,12 +647,28 @@ pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
                 schedule: &schedule,
                 latency,
             });
-            scheduled = if enforce_core {
-                enforce_core_capacity(topo, schedule.iter())
-            } else {
-                schedule.iter().collect()
+            carry.clear();
+            carry.extend(entries.drain(..).map(|e| (e.flow, e)));
+            let mut admit = |id: FlowId, voq: Voq| {
+                // A flow that stays scheduled keeps its drain epoch (its
+                // completion instant is unchanged); a newly selected flow
+                // opens a fresh epoch at the current remaining size.
+                entries.push(carry.remove(&id).unwrap_or_else(|| {
+                    let remaining = table.get(id).expect("scheduled flow is active").remaining();
+                    ScheduledEntry::new(id, voq, clock, remaining, edge_rate)
+                }));
             };
+            if enforce_core {
+                for (id, voq) in enforce_core_capacity(topo, schedule.iter()) {
+                    admit(id, voq);
+                }
+            } else {
+                for (id, voq) in schedule.iter() {
+                    admit(id, voq);
+                }
+            }
             reschedules += 1;
+            lookup.on_reschedule(&entries);
         }
     }
     drop(fan);
@@ -578,10 +748,14 @@ mod tests {
     #[test]
     fn sample_period_clamped_to_one_slot_for_short_horizons() {
         // 100 µs / 400 would be 250 ns — well below one MTU transmission.
-        let short = SimConfig::builder().horizon(SimTime::from_micros(100.0)).build();
+        let short = SimConfig::builder()
+            .horizon(SimTime::from_micros(100.0))
+            .build();
         assert_eq!(short.sample_every, SimConfig::MIN_SAMPLE_PERIOD);
         // Long horizons keep the ~400-point resolution.
-        let long = SimConfig::builder().horizon(SimTime::from_secs(4.0)).build();
+        let long = SimConfig::builder()
+            .horizon(SimTime::from_secs(4.0))
+            .build();
         assert_eq!(long.sample_every, SimTime::from_millis(10.0));
         // The explicit override still wins in both directions.
         let fine = short.with_sample_every(SimTime::from_micros(0.1));
@@ -596,7 +770,9 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 1, 1_250_000)],
-            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
         )
         .unwrap();
         assert_eq!(run.completions, 1);
@@ -615,6 +791,62 @@ mod tests {
     }
 
     #[test]
+    fn odd_sized_flow_completes_exactly_with_one_drain() {
+        // Regression for the `.round()`-vs-`.floor()` era: 7,777 bytes at
+        // 10 Gbps does not divide any sampling slot, and the old per-event
+        // rounding could strand a 1-byte residue that needed an extra
+        // micro-wakeup. With epoch accounting the flow must finish in a
+        // single drain event at the exact analytic instant.
+        let topo = small_topo();
+        let size = Bytes::new(7_777);
+        let mut counter = dcn_probe::EventCounterProbe::new();
+        let run = run_with_probe(
+            &topo,
+            &mut Srpt::new(),
+            vec![arrival(0, 0.0, 0, 1, size.as_u64())],
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
+            &mut counter,
+        )
+        .unwrap();
+        assert_eq!(run.completions, 1);
+        assert_eq!(counter.drains(), 1, "no residue micro-drains allowed");
+        assert_eq!(run.throughput.delivered(), size);
+        let want = topo.edge_rate().transfer_time(size).as_secs();
+        let got = run.fct.summary(FlowClass::Background).unwrap().mean_secs;
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "FCT must be bit-exact size/rate"
+        );
+    }
+
+    #[test]
+    fn first_sample_sees_same_instant_arrivals() {
+        // Regression: the sampler used to fire before t = 0 arrivals were
+        // admitted, so every trace of a workload starting at t = 0 opened
+        // with a spurious all-zero point. Arrivals at an instant are now
+        // admitted before the sample at that instant.
+        let topo = small_topo();
+        let run = simulate(
+            &topo,
+            &mut Srpt::new(),
+            vec![arrival(0, 0.0, 0, 1, 50_000_000)],
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.001))
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(run.total_backlog.times().first(), Some(&0.0));
+        assert_eq!(
+            run.total_backlog.values().first(),
+            Some(&50_000_000.0),
+            "the t = 0 sample must include the t = 0 arrival"
+        );
+    }
+
+    #[test]
     fn srpt_serializes_contending_flows() {
         let topo = small_topo();
         // Two flows from host 0: the short one goes first under SRPT.
@@ -625,7 +857,9 @@ mod tests {
                 arrival(0, 0.0, 0, 1, 2_500_000), // 2 ms alone
                 arrival(1, 0.0, 0, 2, 1_250_000), // 1 ms alone
             ],
-            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
         )
         .unwrap();
         assert_eq!(run.completions, 2);
@@ -649,7 +883,9 @@ mod tests {
                 arrival(1, 0.001, 2, 3, 1_000),
                 arrival(2, 0.002, 1, 0, 7_777),
             ],
-            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
         )
         .unwrap();
         assert_eq!(
@@ -666,7 +902,9 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 1, 1_000), arrival(1, 99.0, 0, 1, 1_000)],
-            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
         )
         .unwrap();
         assert_eq!(run.arrivals, 1);
@@ -684,7 +922,9 @@ mod tests {
                 arrival(0, 0.0, 0, 1, 2_500_000),  // 2 ms alone
                 arrival(1, 0.0005, 0, 2, 625_000), // 0.5 ms alone, shorter remaining
             ],
-            SimConfig::builder().horizon(SimTime::from_secs(0.02)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.02))
+                .build(),
         )
         .unwrap();
         assert_eq!(run.completions, 2);
@@ -698,7 +938,9 @@ mod tests {
     #[test]
     fn sampling_produces_series() {
         let topo = small_topo();
-        let config = SimConfig::builder().horizon(SimTime::from_secs(0.01)).build()
+        let config = SimConfig::builder()
+            .horizon(SimTime::from_secs(0.01))
+            .build()
             .with_sample_every(SimTime::from_millis(1.0))
             .with_monitored_port(HostId::new(0));
         let run = simulate(
@@ -728,7 +970,9 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 99, 1_000)],
-            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
         );
         assert!(matches!(out_of_range, Err(FabricError::BadArrival(_))));
 
@@ -736,7 +980,9 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 3, 3, 1_000)],
-            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
         );
         assert!(matches!(self_loop, Err(FabricError::BadArrival(_))));
 
@@ -747,7 +993,9 @@ mod tests {
                 arrival(0, 0.005, 0, 1, 1_000),
                 arrival(1, 0.001, 0, 2, 1_000),
             ],
-            SimConfig::builder().horizon(SimTime::from_secs(0.01)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.01))
+                .build(),
         );
         assert!(matches!(backwards, Err(FabricError::BadArrival(_))));
     }
@@ -766,7 +1014,9 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             flows,
-            SimConfig::builder().horizon(SimTime::from_secs(0.1)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.1))
+                .build(),
         )
         .unwrap();
         // Only 4 can transmit concurrently: after 10 ms (one flow's solo
@@ -791,7 +1041,9 @@ mod tests {
             &topo_fb,
             &mut Srpt::new(),
             flows,
-            SimConfig::builder().horizon(SimTime::from_secs(0.1)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.1))
+                .build(),
         )
         .unwrap();
         let s_fb = run_fb.fct.summary(FlowClass::Background).unwrap();
@@ -805,7 +1057,9 @@ mod tests {
     #[test]
     fn base_latency_shifts_fcts_only() {
         let topo = small_topo();
-        let base = SimConfig::builder().horizon(SimTime::from_secs(0.01)).build();
+        let base = SimConfig::builder()
+            .horizon(SimTime::from_secs(0.01))
+            .build();
         let shifted = base.with_base_latency(SimTime::from_micros(100.0));
         let flows = || vec![arrival(0, 0.0, 0, 1, 1_250_000)];
         let a = simulate(&topo, &mut Srpt::new(), flows(), base).unwrap();
@@ -823,7 +1077,9 @@ mod tests {
             &topo,
             &mut Srpt::new(),
             vec![arrival(0, 0.0, 0, 1, 1_250_000)],
-            SimConfig::builder().horizon(SimTime::from_secs(0.001)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.001))
+                .build(),
         )
         .unwrap();
         // The flow needs exactly the whole horizon; everything delivered.

@@ -40,9 +40,12 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod calendar;
 mod engine;
+pub mod reference;
 mod topology;
 
 pub use builder::{FabricSim, FabricSimReady, FabricSimSched};
+pub use calendar::CompletionCalendar;
 pub use engine::{simulate, FabricError, FabricRun, SimConfig, SimConfigBuilder};
 pub use topology::{FatTree, TopologyError};

@@ -1,0 +1,59 @@
+//! The reference event loop, kept for differential testing.
+//!
+//! The production engine ([`crate::simulate`]) finds the next completion
+//! instant through the indexed [`CompletionCalendar`](crate::CompletionCalendar);
+//! this module runs the *same* event loop with the seed engine's strategy —
+//! a linear rescan of every scheduled flow on every wakeup. Both paths
+//! share the exact epoch-based drain accounting, so their outputs must be
+//! **bit-identical**: any divergence is a calendar bug, not a modelling
+//! difference. `tests/calendar_differential.rs` pins that equivalence
+//! across seeds and disciplines, the same technique PR 1 used to pin the
+//! incremental scheduler against the from-scratch one.
+//!
+//! The rescan costs `O(n)` per wakeup in the number of concurrently
+//! scheduled flows (the `event_loop` bench group in `sched_overhead`
+//! measures the gap), so this path is for tests and benches — production
+//! callers should use [`crate::simulate`] or the
+//! [`FabricSim`](crate::FabricSim) builder.
+
+use crate::engine::run_scan_with_probe;
+use crate::{FabricError, FabricRun, FatTree, SimConfig};
+use basrpt_core::Scheduler;
+use dcn_probe::{NoProbe, Probe};
+use dcn_workload::FlowArrival;
+
+/// Runs one simulation with the linear-rescan completion lookup.
+///
+/// Identical semantics to [`crate::simulate`] — same inputs, same exact
+/// accounting, bit-identical outputs — differing only in how the next
+/// completion instant is found.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_scan<S: Scheduler + ?Sized>(
+    topo: &FatTree,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+) -> Result<FabricRun, FabricError> {
+    run_scan_with_probe(topo, scheduler, generator, config, NoProbe)
+}
+
+/// Probe-instrumented variant of [`simulate_scan`], for differential tests
+/// that compare full event streams, not just run summaries.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_scan_probed<S: Scheduler + ?Sized, P: Probe>(
+    topo: &FatTree,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+) -> Result<FabricRun, FabricError> {
+    run_scan_with_probe(topo, scheduler, generator, config, probe)
+}

@@ -1,6 +1,6 @@
 //! FCT statistics broken down by flow-size bucket.
 
-use crate::{percentile, FctSummary};
+use crate::{percentile_sorted, FctSummary};
 use dcn_types::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -118,8 +118,9 @@ impl SizeBucketRecorder {
                     let mut sorted = fcts.clone();
                     let count = sorted.len();
                     let mean = sorted.iter().sum::<f64>() / count as f64;
-                    let p50 = percentile(&mut sorted, 50.0).expect("non-empty");
-                    let p99 = percentile(&mut sorted, 99.0).expect("non-empty");
+                    sorted.sort_unstable_by(f64::total_cmp);
+                    let p50 = percentile_sorted(&sorted, 50.0).expect("non-empty");
+                    let p99 = percentile_sorted(&sorted, 99.0).expect("non-empty");
                     let max = *sorted.last().expect("non-empty");
                     (
                         *bucket,

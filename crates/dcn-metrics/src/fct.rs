@@ -5,9 +5,12 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Exact percentile of a sample set with linear interpolation between order
-/// statistics (the "exclusive" R-7 definition used by numpy's default).
+/// statistics — the R-7 definition, which is numpy's *inclusive* default
+/// (`numpy.percentile` with `method="linear"`; Hyndman & Fan type 7).
 ///
-/// `p` is in `[0, 100]`. Returns `None` for an empty sample set.
+/// `p` is in `[0, 100]`. Returns `None` for an empty sample set. Sorts
+/// `samples` in place; when taking several percentiles of the same data,
+/// sort once and call [`percentile_sorted`] instead.
 ///
 /// # Panics
 ///
@@ -22,11 +25,30 @@ use std::collections::BTreeMap;
 /// assert_eq!(percentile(&mut xs, 100.0), Some(4.0));
 /// ```
 pub fn percentile(samples: &mut [f64], p: f64) -> Option<f64> {
+    samples.sort_unstable_by(f64::total_cmp);
+    percentile_sorted(samples, p)
+}
+
+/// [`percentile`] over an **already sorted** (ascending) sample set,
+/// skipping the sort. The caller owns the sort invariant; an unsorted
+/// slice silently yields nonsense.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or NaN.
+///
+/// # Example
+///
+/// ```
+/// use dcn_metrics::percentile_sorted;
+/// let xs = [10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(percentile_sorted(&xs, 50.0), Some(25.0));
+/// ```
+pub fn percentile_sorted(samples: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
     if samples.is_empty() {
         return None;
     }
-    samples.sort_unstable_by(f64::total_cmp);
     let rank = p / 100.0 * (samples.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -143,8 +165,9 @@ impl FctRecorder {
         let mut sorted = fct_secs.to_vec();
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
-        let p50 = percentile(&mut sorted, 50.0).expect("non-empty");
-        let p99 = percentile(&mut sorted, 99.0).expect("non-empty");
+        sorted.sort_unstable_by(f64::total_cmp);
+        let p50 = percentile_sorted(&sorted, 50.0).expect("non-empty");
+        let p99 = percentile_sorted(&sorted, 99.0).expect("non-empty");
         let max = *sorted.last().expect("non-empty");
         FctSummary {
             count,
@@ -182,6 +205,17 @@ mod tests {
     fn percentile_rejects_out_of_range() {
         let mut xs = vec![1.0];
         let _ = percentile(&mut xs, 101.0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let mut xs = vec![7.0, 1.0, 9.0, 4.0, 2.0, 8.0];
+        let mut sorted = xs.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        for p in [0.0, 12.5, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(percentile(&mut xs, p), percentile_sorted(&sorted, p));
+        }
+        assert_eq!(percentile_sorted(&[], 50.0), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod throughput;
 mod timeseries;
 
 pub use buckets::{SizeBucket, SizeBucketRecorder};
-pub use fct::{percentile, FctRecorder, FctSummary};
+pub use fct::{percentile, percentile_sorted, FctRecorder, FctSummary};
 pub use stability::{StabilityReport, StabilityVerdict, TrendConfig};
 pub use table::TextTable;
 pub use throughput::ThroughputMeter;

@@ -199,13 +199,9 @@ impl Parser<'_> {
                 self.src
             ))),
             Some((_, c)) if *c == 't' || *c == 'f' || *c == 'n' => {
-                let word: String = std::iter::from_fn(|| {
-                    match self.chars.peek() {
-                        Some((_, c)) if c.is_ascii_alphabetic() => {
-                            self.chars.next().map(|(_, c)| c)
-                        }
-                        _ => None,
-                    }
+                let word: String = std::iter::from_fn(|| match self.chars.peek() {
+                    Some((_, c)) if c.is_ascii_alphabetic() => self.chars.next().map(|(_, c)| c),
+                    _ => None,
                 })
                 .collect();
                 match word.as_str() {

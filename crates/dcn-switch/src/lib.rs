@@ -39,4 +39,6 @@ pub mod lyapunov;
 mod switch;
 
 pub use arrivals::ScriptedArrivals;
-pub use switch::{run, run_probed, CompletedFlow, RunConfig, SlotOutcome, SlottedSwitch, SwitchRun};
+pub use switch::{
+    run, run_probed, CompletedFlow, RunConfig, SlotOutcome, SlottedSwitch, SwitchRun,
+};

@@ -80,8 +80,16 @@ impl Rate {
     }
 
     /// Bytes transferred at this rate during `elapsed`, truncated to whole
-    /// bytes (the fabric simulator re-derives completion instants
-    /// analytically, so truncation only affects sampling, never FCTs).
+    /// bytes.
+    ///
+    /// This is the **only** rate×time→bytes conversion in the workspace:
+    /// every consumer (the fabric engine's drain accounting included) must
+    /// route through it so truncation behaves identically everywhere. The
+    /// fabric engine anchors the conversion at each flow's drain epoch and
+    /// takes differences of this monotone integer target, so the single
+    /// floor here never accumulates across events; completion instants are
+    /// derived analytically via [`Rate::transfer_time`], never from
+    /// repeated `bytes_in` calls.
     pub fn bytes_in(self, elapsed: SimTime) -> Bytes {
         Bytes::new((self.0 * elapsed.as_secs()).floor().max(0.0) as u64)
     }

@@ -70,7 +70,7 @@ impl SimTime {
     /// Panics (at compile time when evaluating a constant) if `micros` is
     /// NaN or negative.
     pub const fn from_micros_const(micros: f64) -> Self {
-        assert!(micros == micros && micros >= 0.0, "time must be >= 0");
+        assert!(!micros.is_nan() && micros >= 0.0, "time must be >= 0");
         SimTime(micros / 1e6)
     }
 

@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let topo = FatTree::scaled(4, 4, 1)?;
     let spec = TrafficSpec::scaled(4, 4, 0.95)?;
     let n = topo.num_hosts() as usize;
-    let config = SimConfig::builder().horizon(SimTime::from_secs(2.0)).build();
+    let config = SimConfig::builder()
+        .horizon(SimTime::from_secs(2.0))
+        .build();
 
     let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("srpt", Box::new(Srpt::new())),

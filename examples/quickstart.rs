@@ -17,7 +17,9 @@ fn run_one(
     scheduler: &mut dyn Scheduler,
     seed: u64,
 ) -> Result<FabricRun, Box<dyn Error>> {
-    let config = SimConfig::builder().horizon(SimTime::from_secs(2.0)).build();
+    let config = SimConfig::builder()
+        .horizon(SimTime::from_secs(2.0))
+        .build();
     Ok(simulate(topo, scheduler, spec.generator(seed)?, config)?)
 }
 

@@ -49,7 +49,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "simulated 50 ms: {} arrivals, {} completions, {} reschedules",
         run.arrivals, run.completions, run.reschedules
     );
-    println!("wrote {} trace lines to {}", lines_written, trace_path.display());
+    println!(
+        "wrote {} trace lines to {}",
+        lines_written,
+        trace_path.display()
+    );
 
     // Read the trace back and validate that every line parses and names
     // its event kind — the same check `tests/trace_golden.rs` pins with a
@@ -58,8 +62,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut parsed = 0u64;
     for (lineno, line) in BufReader::new(File::open(&trace_path)?).lines().enumerate() {
         let line = line?;
-        let fields = parse_line(&line)
-            .map_err(|e| format!("line {}: {e} in {line:?}", lineno + 1))?;
+        let fields =
+            parse_line(&line).map_err(|e| format!("line {}: {e} in {line:?}", lineno + 1))?;
         let kind = fields
             .iter()
             .find(|(k, _)| k == "event")

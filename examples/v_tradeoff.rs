@@ -60,7 +60,9 @@ fn fabric_sweep() -> Result<(), Box<dyn Error>> {
             &topo,
             &mut sched,
             spec.generator(7)?,
-            SimConfig::builder().horizon(SimTime::from_secs(3.0)).build(),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(3.0))
+                .build(),
         )?;
         let q = run.fct.summary(FlowClass::Query).expect("queries finish");
         let b = run

@@ -28,7 +28,9 @@ fn run(sched: &mut dyn Scheduler, seed: u64, load: f64) -> FabricRun {
         &topo,
         sched,
         spec.generator(seed).expect("valid"),
-        SimConfig::builder().horizon(SimTime::from_secs(0.2)).build(),
+        SimConfig::builder()
+            .horizon(SimTime::from_secs(0.2))
+            .build(),
     )
     .expect("valid simulation")
 }
@@ -88,6 +90,93 @@ fn runs_are_deterministic() {
         );
         assert_eq!(ra.completions, rb.completions, "{}", sa.name());
         assert_eq!(ra.leftover_bytes, rb.leftover_bytes, "{}", sa.name());
+    }
+}
+
+mod random_workloads {
+    //! Property tests: exact conservation on *scripted* random workloads,
+    //! not just the Poisson generator — adversarial inter-arrival gaps and
+    //! sizes that do not divide any slot exercise the engine's epoch-based
+    //! drain accounting where rounding noise used to hide.
+
+    use super::*;
+    use basrpt::types::{FlowClass, FlowId, HostId, Voq};
+    use basrpt::workload::FlowArrival;
+    use proptest::prelude::*;
+
+    /// Turns raw generated tuples into a valid, time-ordered arrival
+    /// script on the 8-host scaled fabric (no self-loops, non-zero sizes).
+    fn scripted(raw: &[(u64, u32, u32, u64)]) -> Vec<FlowArrival> {
+        let mut t = SimTime::ZERO;
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(dt_us, s, d, size))| {
+                t += SimTime::from_micros(dt_us as f64);
+                let src = s % 8;
+                let dst = (src + 1 + d % 7) % 8;
+                FlowArrival {
+                    id: FlowId::new(i as u64),
+                    time: t,
+                    voq: Voq::new(HostId::new(src), HostId::new(dst)),
+                    size: Bytes::new(size),
+                    class: FlowClass::Background,
+                }
+            })
+            .collect()
+    }
+
+    /// The four disciplines the conservation property quantifies over.
+    fn disciplines() -> Vec<Box<dyn Scheduler>> {
+        vec![
+            Box::new(Srpt::new()),
+            Box::new(FastBasrpt::new(2500.0, 8)),
+            Box::new(Fifo::new()),
+            Box::new(MaxWeight::new()),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn bytes_and_flows_are_exactly_conserved(
+            raw in prop::collection::vec(
+                (0u64..300, 0u32..8, 0u32..7, 1u64..1_000_000),
+                1..40,
+            )
+        ) {
+            let arrivals = scripted(&raw);
+            let topo = FatTree::scaled(2, 4, 1).expect("valid");
+            let config = SimConfig::builder()
+                .horizon(SimTime::from_millis(30.0))
+                .build();
+            for mut sched in disciplines() {
+                let r = simulate(&topo, sched.as_mut(), arrivals.clone(), config)
+                    .expect("valid simulation");
+                prop_assert_eq!(
+                    r.arrived_bytes,
+                    r.throughput.delivered() + r.leftover_bytes,
+                    "{}: arrived != delivered + leftover (exactly)",
+                    sched.name()
+                );
+                prop_assert_eq!(
+                    r.completions + r.leftover_flows,
+                    r.arrivals,
+                    "{}: flow count mismatch",
+                    sched.name()
+                );
+                let delivered = r.cumulative_delivered.values();
+                prop_assert!(
+                    delivered.windows(2).all(|w| w[0] <= w[1]),
+                    "{}: cumulative delivered series must be monotone",
+                    sched.name()
+                );
+                prop_assert_eq!(
+                    r.arrivals,
+                    arrivals.len(),
+                    "{}: every scripted arrival lands before the horizon",
+                    sched.name()
+                );
+            }
+        }
     }
 }
 

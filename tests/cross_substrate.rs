@@ -16,7 +16,9 @@ use basrpt::workload::TrafficSpec;
 fn fabric_fast_basrpt_huge_v_equals_srpt() {
     let topo = FatTree::scaled(2, 4, 1).unwrap();
     let spec = TrafficSpec::scaled(2, 4, 0.85).unwrap();
-    let config = SimConfig::builder().horizon(SimTime::from_secs(0.2)).build();
+    let config = SimConfig::builder()
+        .horizon(SimTime::from_secs(0.2))
+        .build();
 
     let srpt = simulate(&topo, &mut Srpt::new(), spec.generator(9).unwrap(), config).unwrap();
     let mut fb = FastBasrpt::new(1e15, 8);
@@ -69,7 +71,9 @@ fn v_effect_is_consistent_across_substrates() {
     // Fabric at high load: smaller V leaves less behind.
     let topo = FatTree::scaled(2, 4, 1).unwrap();
     let spec = TrafficSpec::scaled(2, 4, 0.95).unwrap();
-    let config = SimConfig::builder().horizon(SimTime::from_secs(0.4)).build();
+    let config = SimConfig::builder()
+        .horizon(SimTime::from_secs(0.4))
+        .build();
     let mut small_v = FastBasrpt::new(50.0, 8);
     let mut large_v = FastBasrpt::new(1e9, 8);
     let small = simulate(&topo, &mut small_v, spec.generator(4).unwrap(), config).unwrap();

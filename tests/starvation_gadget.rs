@@ -16,7 +16,9 @@ fn run_gadget(scheduler: &mut dyn Scheduler, horizon_secs: f64) -> FabricRun {
         &topo,
         scheduler,
         script,
-        SimConfig::builder().horizon(SimTime::from_secs(horizon_secs)).build(),
+        SimConfig::builder()
+            .horizon(SimTime::from_secs(horizon_secs))
+            .build(),
     )
     .expect("valid simulation")
 }

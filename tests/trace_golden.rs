@@ -120,6 +120,7 @@ fn golden_lines_parse_with_expected_fields() {
 fn bless_golden() {
     let trace = scripted_trace();
     let mut f = std::fs::File::create(GOLDEN_PATH).expect("golden path is writable");
-    f.write_all(trace.as_bytes()).expect("golden write succeeds");
+    f.write_all(trace.as_bytes())
+        .expect("golden write succeeds");
     println!("wrote {} lines to {GOLDEN_PATH}", trace.lines().count());
 }

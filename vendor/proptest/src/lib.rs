@@ -30,7 +30,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
     }
 }
 
@@ -73,7 +75,9 @@ where
     for case in 0..n {
         let mut rng = TestRng::for_test(test_name, case);
         if let Err(e) = body(&mut rng) {
-            panic!("proptest {test_name}: case {case}/{n} failed: {e} (offline stub: no shrinking)");
+            panic!(
+                "proptest {test_name}: case {case}/{n} failed: {e} (offline stub: no shrinking)"
+            );
         }
     }
 }

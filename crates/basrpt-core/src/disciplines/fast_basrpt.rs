@@ -95,6 +95,10 @@ impl Scheduler for FastBasrpt {
             .collect();
         greedy_by_key(&mut candidates)
     }
+
+    fn schedule_validity(&self, _table: &FlowTable, _schedule: &Schedule) -> u64 {
+        crate::validity::fast_basrpt_validity(self.weight())
+    }
 }
 
 #[cfg(test)]

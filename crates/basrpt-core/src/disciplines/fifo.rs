@@ -51,6 +51,13 @@ impl Scheduler for Fifo {
             .collect();
         greedy_by_key(&mut candidates)
     }
+
+    fn schedule_validity(&self, _table: &FlowTable, _schedule: &Schedule) -> u64 {
+        // Oldest-flow keys are constant between arrivals and completions
+        // (draining a flow never changes which flow is oldest), so the
+        // ranking is frozen and the schedule cannot change.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

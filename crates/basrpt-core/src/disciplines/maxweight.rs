@@ -52,6 +52,10 @@ impl Scheduler for MaxWeight {
             .collect();
         greedy_by_key(&mut candidates)
     }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        crate::validity::maxweight_validity(table, schedule)
+    }
 }
 
 #[cfg(test)]

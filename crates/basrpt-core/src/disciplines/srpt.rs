@@ -51,6 +51,15 @@ impl Scheduler for Srpt {
             .collect();
         greedy_by_key(&mut candidates)
     }
+
+    fn schedule_validity(&self, _table: &FlowTable, _schedule: &Schedule) -> u64 {
+        // Integer remaining sizes are exact in f64 and every served head's
+        // key drops by exactly 1 per slot — the safe direction of the
+        // greedy admission order (see `crate::validity`) — while unserved
+        // VOQs are frozen; a drained head also stays its VOQ's shortest
+        // flow. The schedule can only change at an arrival or completion.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

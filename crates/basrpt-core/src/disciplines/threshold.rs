@@ -76,6 +76,10 @@ impl Scheduler for ThresholdBacklogSrpt {
         }
         schedule
     }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        crate::validity::threshold_validity(table, schedule, self.threshold)
+    }
 }
 
 #[cfg(test)]

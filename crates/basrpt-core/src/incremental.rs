@@ -110,6 +110,17 @@ pub trait VoqDiscipline {
     /// Ranks one non-empty VOQ: the admission key and the flow that
     /// transmits if this VOQ is selected.
     fn rank(&self, view: &VoqView) -> (Self::Key, FlowId);
+
+    /// Slot-validity bound for a schedule just computed from `table` —
+    /// the contract of [`Scheduler::schedule_validity`], forwarded
+    /// verbatim by [`IncrementalScheduler`] so wrapping a discipline does
+    /// not change how long its schedules may be replayed. The default of
+    /// `1` is always sound; overrides mirror the one-pass twins (see
+    /// [`crate::validity`]).
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        let _ = (table, schedule);
+        1
+    }
 }
 
 impl VoqDiscipline for crate::Srpt {
@@ -125,6 +136,10 @@ impl VoqDiscipline for crate::Srpt {
             view.shortest_flow,
         )
     }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        Scheduler::schedule_validity(self, table, schedule)
+    }
 }
 
 impl VoqDiscipline for FastBasrpt {
@@ -138,6 +153,10 @@ impl VoqDiscipline for FastBasrpt {
         let key = self.weight() * view.shortest_remaining as f64 - view.backlog as f64;
         (F64Key::new(key), view.shortest_flow)
     }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        Scheduler::schedule_validity(self, table, schedule)
+    }
 }
 
 impl VoqDiscipline for crate::MaxWeight {
@@ -150,6 +169,10 @@ impl VoqDiscipline for crate::MaxWeight {
     fn rank(&self, view: &VoqView) -> (F64Key, FlowId) {
         (F64Key::new(-(view.backlog as f64)), view.shortest_flow)
     }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        Scheduler::schedule_validity(self, table, schedule)
+    }
 }
 
 impl VoqDiscipline for crate::Fifo {
@@ -161,6 +184,10 @@ impl VoqDiscipline for crate::Fifo {
 
     fn rank(&self, view: &VoqView) -> (F64Key, FlowId) {
         (F64Key::new(view.oldest_flow.raw() as f64), view.oldest_flow)
+    }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        Scheduler::schedule_validity(self, table, schedule)
     }
 }
 
@@ -179,6 +206,10 @@ impl VoqDiscipline for crate::ThresholdBacklogSrpt {
             (view.backlog <= self.threshold(), view.shortest_remaining),
             view.shortest_flow,
         )
+    }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        Scheduler::schedule_validity(self, table, schedule)
     }
 }
 
@@ -361,6 +392,10 @@ impl<D: VoqDiscipline> Scheduler for IncrementalScheduler<D> {
             }
         }
         schedule
+    }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        self.discipline.schedule_validity(table, schedule)
     }
 }
 

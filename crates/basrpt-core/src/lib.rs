@@ -65,6 +65,7 @@ pub mod reference;
 mod schedule;
 mod scheduler;
 mod table;
+pub mod validity;
 
 pub use disciplines::{
     ExactBasrpt, ExactBasrptError, FastBasrpt, Fifo, MaxWeight, PenaltyKind, RoundRobin, Srpt,
@@ -73,5 +74,5 @@ pub use disciplines::{
 pub use flow::FlowState;
 pub use incremental::{check_equivalence, F64Key, IncrementalScheduler, VoqDiscipline};
 pub use schedule::{Schedule, ScheduleError};
-pub use scheduler::{check_maximal, greedy_by_key, Candidate, Scheduler};
-pub use table::{DrainOutcome, FlowTable, FlowTableError, VoqView};
+pub use scheduler::{check_maximal, greedy_by_key, Candidate, CountingScheduler, Scheduler};
+pub use table::{DrainOutcome, FlowTable, FlowTableError, TableCursor, VoqView};

@@ -19,6 +19,26 @@ pub trait Scheduler {
     /// added without violating the crossbar constraint. All disciplines in
     /// this crate satisfy that by construction.
     fn schedule(&mut self, table: &FlowTable) -> Schedule;
+
+    /// For how many consecutive slots — starting with the slot `schedule`
+    /// was computed for — re-invoking [`schedule`](Scheduler::schedule)
+    /// every slot would provably return a bit-identical result, assuming
+    /// the only table mutations are the schedule's own drains (one unit
+    /// per scheduled flow per slot) and no scheduled flow completes inside
+    /// the window. Any arrival, completion, or external mutation voids the
+    /// bound immediately.
+    ///
+    /// Fast-forward drivers (see `dcn-switch`) use this to replay a cached
+    /// schedule instead of re-deciding every slot; see the [`validity`]
+    /// (crate::validity) module for the invariance argument behind the
+    /// per-discipline overrides. The default of `1` is always sound — a
+    /// schedule is trivially valid for the slot it was computed for — and
+    /// is what stateful disciplines (round-robin's rotation, exact
+    /// BASRPT) must keep so they are re-consulted every slot.
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        let _ = (table, schedule);
+        1
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -28,6 +48,65 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn schedule(&mut self, table: &FlowTable) -> Schedule {
         (**self).schedule(table)
+    }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        (**self).schedule_validity(table, schedule)
+    }
+}
+
+/// A transparent [`Scheduler`] wrapper counting `schedule()` invocations.
+///
+/// Used to measure how many decisions a driver actually computes — e.g.
+/// the fast-forward engine's invocation-reduction acceptance test and the
+/// `sched_overhead` bench group compare the count against the slot count.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::{CountingScheduler, FlowTable, Scheduler, Srpt};
+///
+/// let mut counted = CountingScheduler::new(Srpt::new());
+/// let table = FlowTable::new();
+/// counted.schedule(&table);
+/// counted.schedule(&table);
+/// assert_eq!(counted.calls(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingScheduler<S> {
+    inner: S,
+    calls: u64,
+}
+
+impl<S: Scheduler> CountingScheduler<S> {
+    /// Wraps `inner`, starting the count at zero.
+    pub fn new(inner: S) -> Self {
+        CountingScheduler { inner, calls: 0 }
+    }
+
+    /// Number of [`Scheduler::schedule`] calls forwarded so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Returns the wrapped scheduler.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for CountingScheduler<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn schedule(&mut self, table: &FlowTable) -> Schedule {
+        self.calls += 1;
+        self.inner.schedule(table)
+    }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        self.inner.schedule_validity(table, schedule)
     }
 }
 
@@ -51,6 +130,27 @@ pub struct Candidate {
 /// ports are still free. With one candidate per non-empty VOQ this yields a
 /// schedule that is maximal over the non-empty VOQs, exactly the "flows are
 /// selected until all left flows are blocked" rule of §II-A.
+///
+/// # Ordering contract
+///
+/// The admission order — and therefore the produced matching, its
+/// [`Schedule`] iteration order, and [`Schedule`]'s `PartialEq` — is a
+/// deterministic function of the multiset of `(key, flow id, voq)`
+/// triples:
+///
+/// * keys compare by [`f64::total_cmp`] (so `-0.0 < 0.0` and the order is
+///   total even for exotic values; keys are expected finite);
+/// * equal keys fall back to the **flow id**, which is unique per table —
+///   a flow lives in exactly one VOQ — so no pair of candidates ever ties
+///   fully and the initial order of the candidate slice is irrelevant
+///   (`sort_unstable` is safe).
+///
+/// [`IncrementalScheduler`](crate::IncrementalScheduler) reproduces this
+/// exact order from its `(key, flow id, voq)` B-tree, and the
+/// fast-forward schedule cache (`dcn_switch::fastforward`) relies on the
+/// same determinism: replaying an identical candidate ranking must yield
+/// a bit-identical schedule. Tests in `crates/basrpt-core/tests/
+/// tie_break.rs` pin the contract.
 ///
 /// # Example
 ///

@@ -71,6 +71,73 @@ pub struct VoqView {
     pub len: usize,
 }
 
+/// A consumer-side snapshot of a [`FlowTable`]'s change-log position.
+///
+/// Wraps the raw `(table identity, log position)` pair of the change-log
+/// API so consumers that cache table-derived state — e.g. the
+/// fast-forward engine's cached schedule in `dcn-switch` — can ask "has
+/// anything mutated since I last looked?" in `O(1)` and re-sync after
+/// applying their own predicted mutations.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::{FlowState, FlowTable, TableCursor};
+/// use dcn_types::{FlowId, HostId, Voq};
+///
+/// let mut table = FlowTable::new();
+/// let mut cursor = TableCursor::new(&table);
+/// assert!(!cursor.has_changed(&table));
+///
+/// table.insert(FlowState::new(
+///     FlowId::new(1),
+///     Voq::new(HostId::new(0), HostId::new(1)),
+///     5,
+/// ))?;
+/// assert!(cursor.has_changed(&table));
+/// cursor.resync(&table);
+/// assert!(!cursor.has_changed(&table));
+/// # Ok::<(), basrpt_core::FlowTableError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableCursor {
+    table_id: u64,
+    pos: u64,
+}
+
+impl TableCursor {
+    /// A cursor synced to `table`'s current state.
+    pub fn new(table: &FlowTable) -> Self {
+        TableCursor {
+            table_id: table.table_id(),
+            pos: table.change_log_end(),
+        }
+    }
+
+    /// Whether `table` has mutated since this cursor was last synced.
+    /// Conservatively `true` when the cursor belongs to a different table
+    /// instance or the log was compacted past it.
+    pub fn has_changed(&self, table: &FlowTable) -> bool {
+        self.table_id != table.table_id() || !matches!(table.changes_since(self.pos), Some([]))
+    }
+
+    /// The VOQs mutated since the last sync, oldest first (repeats
+    /// possible), or `None` when the history is unavailable — a different
+    /// table instance or a compacted log — and the consumer must rebuild
+    /// from scratch.
+    pub fn changes<'a>(&self, table: &'a FlowTable) -> Option<&'a [Voq]> {
+        if self.table_id != table.table_id() {
+            return None;
+        }
+        table.changes_since(self.pos)
+    }
+
+    /// Re-syncs the cursor to `table`'s current state.
+    pub fn resync(&mut self, table: &FlowTable) {
+        *self = TableCursor::new(table);
+    }
+}
+
 #[derive(Debug, Default, Clone)]
 struct VoqIndex {
     /// Flows ordered by (remaining, id): first element is the SRPT pick.

@@ -14,6 +14,11 @@
 //! incremental path re-keys only the event's VOQ instead of re-sorting
 //! all of them, turning the `O(Q log Q)` sort into an `O(log Q)` patch
 //! plus an `O(Q)` pre-sorted walk.
+//!
+//! The `fastforward_switch` group measures the orthogonal lever: instead
+//! of making each decision cheaper, the macro-slot fast-forward engine
+//! makes *fewer* decisions, re-invoking the scheduler only when a cached
+//! schedule can no longer be proven valid (see ARCHITECTURE.md).
 
 use basrpt_core::{
     ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, IncrementalScheduler, MaxWeight,
@@ -329,6 +334,120 @@ fn bench_event_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// Macro-slot fast-forward vs the slot-by-slot reference on the 16-port
+/// slotted switch (default scale, 200 k slots). The workload is the
+/// slotted analogue of Fig. 2's regime: a two-class mix of long
+/// background elephants and short queries, *scripted* so the engine has
+/// arrival lookahead (Bernoulli arrivals admit none — any slot may bring
+/// a flow — which caps every window at one slot). Before timing, the
+/// scheduler-invocation comparison is printed per discipline: the
+/// fast-forward engine must invoke `schedule()` ≥ 5× less often while
+/// producing a bit-identical run, which the differential suite
+/// (`tests/fastforward_differential.rs`) enforces and this group records.
+fn bench_fastforward(c: &mut Criterion) {
+    use basrpt_core::{CountingScheduler, ThresholdBacklogSrpt};
+    use dcn_switch::{run_with_engine, Engine, RunConfig, ScriptedArrivals};
+
+    const PORTS: u32 = 16;
+    const SLOTS: u64 = 200_000;
+
+    fn fig2_style_script(seed: u64) -> ScriptedArrivals {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let voq = |rng: &mut StdRng| {
+            let src = rng.gen_range(0..PORTS);
+            let mut dst = rng.gen_range(0..PORTS - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            Voq::new(HostId::new(src), HostId::new(dst))
+        };
+        let mut script = Vec::new();
+        // Background elephants: long flows whose service dominates the
+        // horizon, so cached schedules stay provably valid for stretches.
+        for _ in 0..300 {
+            let slot = rng.gen_range(0..SLOTS);
+            let q = voq(&mut rng);
+            script.push((slot, q, rng.gen_range(2_000..=20_000u64)));
+        }
+        // Short queries: the latency-sensitive class that interrupts them.
+        for _ in 0..2_000 {
+            let slot = rng.gen_range(0..SLOTS);
+            let q = voq(&mut rng);
+            script.push((slot, q, rng.gen_range(1..=8u64)));
+        }
+        ScriptedArrivals::new(script)
+    }
+
+    type MakeScheduler = Box<dyn Fn() -> Box<dyn Scheduler>>;
+    let disciplines: Vec<(&str, MakeScheduler)> = vec![
+        ("srpt", Box::new(|| Box::new(Srpt::new()))),
+        (
+            "threshold",
+            Box::new(|| Box::new(ThresholdBacklogSrpt::new(10_000))),
+        ),
+    ];
+    for (name, make) in &disciplines {
+        let mut slow = CountingScheduler::new(make());
+        let slow_run = run_with_engine(
+            Engine::SlotBySlot,
+            PORTS,
+            &mut slow,
+            &mut fig2_style_script(1),
+            RunConfig::new(SLOTS),
+        );
+        let mut fast = CountingScheduler::new(make());
+        let fast_run = run_with_engine(
+            Engine::FastForward,
+            PORTS,
+            &mut fast,
+            &mut fig2_style_script(1),
+            RunConfig::new(SLOTS),
+        );
+        let identical = slow_run.delivered_packets == fast_run.delivered_packets
+            && slow_run.leftover_packets == fast_run.leftover_packets
+            && slow_run.avg_penalty.to_bits() == fast_run.avg_penalty.to_bits()
+            && slow_run.avg_total_backlog.to_bits() == fast_run.avg_total_backlog.to_bits();
+        println!(
+            "fastforward_switch/{name}: {} -> {} scheduler invocations over {SLOTS} slots \
+             ({:.1}x fewer), outputs bit-identical: {identical}",
+            slow.calls(),
+            fast.calls(),
+            slow.calls() as f64 / fast.calls() as f64,
+        );
+    }
+
+    let mut group = c.benchmark_group("fastforward_switch");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    group.bench_function("slot_by_slot", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            run_with_engine(
+                Engine::SlotBySlot,
+                PORTS,
+                &mut sched,
+                &mut fig2_style_script(1),
+                RunConfig::new(SLOTS),
+            )
+        })
+    });
+    group.bench_function("fast_forward", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            run_with_engine(
+                Engine::FastForward,
+                PORTS,
+                &mut sched,
+                &mut fig2_style_script(1),
+                RunConfig::new(SLOTS),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_exact_blowup(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_basrpt_enumeration");
     group
@@ -361,6 +480,7 @@ criterion_group!(
     bench_per_event,
     bench_probe_overhead,
     bench_event_loop,
+    bench_fastforward,
     bench_exact_blowup
 );
 criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Property tests for [`CompletionCalendar`] under adversarial reschedule
+//! sequences — the situations lazy invalidation must survive: the same
+//! flow rescheduled over and over (stale entries pile up on the heap),
+//! reschedules to the *same* instant (must not grow the heap), and
+//! drain-to-zero (empty schedules, `INFINITY` answers, then refills).
+//! Every prefix of every sequence is checked against a naive
+//! recompute-the-minimum model.
+
+use dcn_fabric::CompletionCalendar;
+use dcn_types::{FlowId, SimTime};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn f(id: u64) -> FlowId {
+    FlowId::new(id)
+}
+
+fn at(tenths: u64) -> SimTime {
+    SimTime::from_millis(tenths as f64 / 10.0)
+}
+
+/// The naive model: the last schedule handed over, as a map.
+fn model_of(schedule: &[(u64, u64)]) -> HashMap<u64, u64> {
+    // Last pair wins, like the calendar documents.
+    schedule.iter().copied().collect()
+}
+
+fn check_against_model(cal: &mut CompletionCalendar, model: &HashMap<u64, u64>, step: usize) {
+    assert_eq!(cal.len(), model.len(), "step {step}: live count");
+    assert_eq!(cal.is_empty(), model.is_empty(), "step {step}: emptiness");
+    let want = model
+        .values()
+        .map(|&t| at(t))
+        .min()
+        .unwrap_or(SimTime::INFINITY);
+    assert_eq!(cal.next_completion(), want, "step {step}: minimum instant");
+    assert!(
+        cal.heap_len() >= cal.len(),
+        "step {step}: heap can never hold fewer entries than live flows"
+    );
+}
+
+proptest! {
+    /// Arbitrary reschedule sequences over a small id space (maximizing
+    /// collisions): after every `set_schedule` the calendar agrees with
+    /// the naive model, including empty schedules mid-sequence.
+    #[test]
+    fn calendar_tracks_the_model_on_arbitrary_sequences(
+        steps in prop::collection::vec(
+            prop::collection::vec((0u64..5, 0u64..200), 0..8),
+            1..30,
+        )
+    ) {
+        let mut cal = CompletionCalendar::new();
+        for (step, schedule) in steps.iter().enumerate() {
+            cal.set_schedule(schedule.iter().map(|&(id, t)| (f(id), at(t))));
+            let model = model_of(schedule);
+            check_against_model(&mut cal, &model, step);
+        }
+    }
+
+    /// One flow rescheduled to a fresh instant every step: the pathological
+    /// case for lazy invalidation. The answer must stay exact at every
+    /// prefix, and popping through the garbage at the end must terminate
+    /// with the single live entry.
+    #[test]
+    fn repeated_invalidation_of_one_flow_stays_exact(
+        instants in prop::collection::vec(0u64..10_000, 1..200)
+    ) {
+        let mut cal = CompletionCalendar::new();
+        for (step, &t) in instants.iter().enumerate() {
+            cal.set_schedule([(f(1), at(t))]);
+            assert_eq!(cal.next_completion(), at(t), "step {step}");
+            assert_eq!(cal.len(), 1);
+        }
+        // After validation the heap has shed every entry that sorted ahead
+        // of the live one; everything behind it may lazily remain.
+        prop_assert!(cal.heap_len() >= 1);
+        cal.set_schedule(std::iter::empty::<(FlowId, SimTime)>());
+        prop_assert_eq!(cal.next_completion(), SimTime::INFINITY);
+        prop_assert_eq!(cal.heap_len(), 0, "draining pops all stale entries");
+    }
+
+    /// Rescheduling flows to their *current* instants is free: no heap
+    /// growth, no answer change — however often it is repeated.
+    #[test]
+    fn reschedule_to_same_instant_never_grows_the_heap(
+        schedule in prop::collection::vec((0u64..8, 0u64..500), 1..8),
+        repeats in 1usize..50,
+    ) {
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule(schedule.iter().map(|&(id, t)| (f(id), at(t))));
+        let model = model_of(&schedule);
+        check_against_model(&mut cal, &model, 0);
+        let heap_before = cal.heap_len();
+        for rep in 1..=repeats {
+            // Re-hand the deduplicated live set (iteration order varies —
+            // the calendar must not care).
+            let live: Vec<(u64, u64)> = model.iter().map(|(&id, &t)| (id, t)).collect();
+            cal.set_schedule(live.iter().map(|&(id, t)| (f(id), at(t))));
+            check_against_model(&mut cal, &model, rep);
+        }
+        prop_assert_eq!(cal.heap_len(), heap_before, "identical reschedules are free");
+    }
+
+    /// Drain-to-zero churn: alternate between a schedule and emptiness.
+    /// Emptiness must always answer `INFINITY` immediately, and refills
+    /// must resurrect exact answers (including for ids seen before with
+    /// different instants).
+    #[test]
+    fn drain_to_zero_and_refill(
+        rounds in prop::collection::vec(
+            prop::collection::vec((0u64..4, 0u64..100), 1..5),
+            1..20,
+        )
+    ) {
+        let mut cal = CompletionCalendar::new();
+        for (step, schedule) in rounds.iter().enumerate() {
+            cal.set_schedule(schedule.iter().map(|&(id, t)| (f(id), at(t))));
+            check_against_model(&mut cal, &model_of(schedule), step);
+            cal.set_schedule(std::iter::empty::<(FlowId, SimTime)>());
+            assert_eq!(cal.next_completion(), SimTime::INFINITY, "step {step}: drained");
+            assert_eq!(cal.heap_len(), 0, "step {step}: drained heap is empty");
+        }
+    }
+}
+
+/// Deterministic worst case outside proptest: N reschedules of one flow to
+/// strictly earlier instants each time — every stale entry sorts *behind*
+/// the live one, so `next_completion` keeps O(1) peeks while `heap_len`
+/// records the garbage, all popped in one terminal drain.
+#[test]
+fn monotonically_earlier_reschedules_accumulate_then_drain() {
+    let mut cal = CompletionCalendar::new();
+    let n = 500u64;
+    for i in 0..n {
+        cal.set_schedule([(f(7), at(10_000 - i))]);
+        assert_eq!(cal.next_completion(), at(10_000 - i));
+    }
+    assert_eq!(cal.len(), 1);
+    assert!(cal.heap_len() as u64 >= 1, "live entry present");
+    cal.set_schedule(std::iter::empty::<(FlowId, SimTime)>());
+    assert_eq!(cal.next_completion(), SimTime::INFINITY);
+    assert_eq!(cal.heap_len(), 0);
+}

@@ -166,6 +166,28 @@ pub trait Probe {
         true
     }
 
+    /// Whether this probe needs the slotted substrate's **per-slot** event
+    /// stream even where the engine could batch.
+    ///
+    /// The fast-forward engine in `dcn-switch` advances many slots in one
+    /// step when the cached schedule provably cannot change. If every
+    /// attached probe returns `false` here, such a window is reported as
+    /// one [`DecisionEvent`] per actual `schedule()` call plus one
+    /// [`DrainEvent`] per scheduled flow with `amount` equal to the units
+    /// drained over the whole window, stamped at the window's first slot.
+    /// If any probe returns `true`, the engine expands every window into
+    /// the exact per-slot stream of the slot-by-slot reference: one
+    /// decision per slot (`latency: None` for replayed cached schedules)
+    /// and one unit drain per scheduled flow per slot, in reference order.
+    /// Arrival, completion and sample events are identical either way.
+    ///
+    /// The default is `true` so custom probes observe the reference
+    /// stream without extra wiring; aggregate-only probes (and
+    /// [`NoProbe`]) override it to `false` to keep fast-forward runs fast.
+    fn wants_slot_fidelity(&self) -> bool {
+        true
+    }
+
     /// A flow arrived.
     fn on_arrival(&mut self, event: &ArrivalEvent) {
         let _ = event;
@@ -204,11 +226,19 @@ impl Probe for NoProbe {
     fn wants_decision_timing(&self) -> bool {
         false
     }
+
+    fn wants_slot_fidelity(&self) -> bool {
+        false
+    }
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {
     fn wants_decision_timing(&self) -> bool {
         (**self).wants_decision_timing()
+    }
+
+    fn wants_slot_fidelity(&self) -> bool {
+        (**self).wants_slot_fidelity()
     }
     fn on_arrival(&mut self, event: &ArrivalEvent) {
         (**self).on_arrival(event);
@@ -257,6 +287,10 @@ impl<A: Probe, B: Probe> Probe for Fanout<A, B> {
     fn wants_decision_timing(&self) -> bool {
         self.0.wants_decision_timing() || self.1.wants_decision_timing()
     }
+
+    fn wants_slot_fidelity(&self) -> bool {
+        self.0.wants_slot_fidelity() || self.1.wants_slot_fidelity()
+    }
     fn on_arrival(&mut self, event: &ArrivalEvent) {
         self.0.on_arrival(event);
         self.1.on_arrival(event);
@@ -293,6 +327,7 @@ mod tests {
         assert_eq!(std::mem::size_of::<NoProbe>(), 0);
         let mut p = NoProbe;
         assert!(!p.wants_decision_timing());
+        assert!(!p.wants_slot_fidelity());
         p.on_arrival(&ArrivalEvent {
             time: 0.0,
             flow: FlowId::new(1),
@@ -308,6 +343,7 @@ mod tests {
         {
             let mut fan = Fanout::new(&mut a, &mut b);
             assert!(fan.wants_decision_timing());
+            assert!(fan.wants_slot_fidelity());
             fan.on_arrival(&ArrivalEvent {
                 time: 1.0,
                 flow: FlowId::new(7),
@@ -319,6 +355,7 @@ mod tests {
         assert_eq!(b.arrivals(), 1);
         let fan = Fanout::new(NoProbe, NoProbe);
         assert!(!fan.wants_decision_timing());
+        assert!(!fan.wants_slot_fidelity());
     }
 
     #[test]

@@ -13,6 +13,34 @@ use rand::{Rng, SeedableRng};
 pub trait SlotArrivals {
     /// The flows arriving at the end of `slot`.
     fn poll(&mut self, slot: Slot) -> Vec<(Voq, u64)>;
+
+    /// What the process can promise about its arrivals at or after `from`
+    /// without advancing its own state.
+    ///
+    /// Fast-forward drivers (see `dcn_switch::fastforward`) use the
+    /// promise to skip polls they know return nothing; the default is
+    /// [`ArrivalLookahead::Unknown`], which forces a poll every slot and
+    /// is always correct. Implementations may assume `from` is at least
+    /// every previously polled slot (drivers advance monotonically).
+    fn lookahead(&self, from: Slot) -> ArrivalLookahead {
+        let _ = from;
+        ArrivalLookahead::Unknown
+    }
+}
+
+/// What a [`SlotArrivals`] process can promise about its future — the
+/// return value of [`SlotArrivals::lookahead`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalLookahead {
+    /// The process cannot predict its next arrival (e.g. it draws random
+    /// bits per slot); the driver must poll every slot.
+    Unknown,
+    /// The next arrival lands at the end of exactly this slot; polls for
+    /// earlier not-yet-polled slots return no flows and may be skipped.
+    NextAt(Slot),
+    /// No further arrival will ever occur; every remaining poll returns
+    /// no flows and may be skipped.
+    Exhausted,
 }
 
 /// A deterministic, pre-scripted arrival sequence; drives the paper's
@@ -61,6 +89,15 @@ impl SlotArrivals for ScriptedArrivals {
             self.cursor += 1;
         }
         out
+    }
+
+    fn lookahead(&self, from: Slot) -> ArrivalLookahead {
+        match self.script.get(self.cursor) {
+            // Clamp to `from` so the promise stays well-formed even for a
+            // caller that never polled the earlier scripted slots.
+            Some(&(s, _, _)) => ArrivalLookahead::NextAt(Slot::new(s.max(from.index()))),
+            None => ArrivalLookahead::Exhausted,
+        }
     }
 }
 
@@ -190,6 +227,34 @@ mod tests {
         assert!(s.poll(Slot::new(1)).is_empty());
         assert_eq!(s.poll(Slot::new(2)), vec![(q1, 1), (q2, 3)]);
         assert!(s.is_exhausted());
+    }
+
+    #[test]
+    fn scripted_lookahead_tracks_the_cursor() {
+        let q = Voq::new(HostId::new(0), HostId::new(1));
+        let mut s = ScriptedArrivals::new(vec![(3, q, 5), (7, q, 1)]);
+        assert_eq!(
+            s.lookahead(Slot::new(0)),
+            ArrivalLookahead::NextAt(Slot::new(3))
+        );
+        // A lookahead from beyond the entry clamps to `from`.
+        assert_eq!(
+            s.lookahead(Slot::new(5)),
+            ArrivalLookahead::NextAt(Slot::new(5))
+        );
+        assert!(s.poll(Slot::new(3)).len() == 1);
+        assert_eq!(
+            s.lookahead(Slot::new(4)),
+            ArrivalLookahead::NextAt(Slot::new(7))
+        );
+        assert!(s.poll(Slot::new(7)).len() == 1);
+        assert_eq!(s.lookahead(Slot::new(8)), ArrivalLookahead::Exhausted);
+    }
+
+    #[test]
+    fn bernoulli_lookahead_is_unknown() {
+        let arr = BernoulliFlowArrivals::uniform(4, 0.6, 5, 7).unwrap();
+        assert_eq!(arr.lookahead(Slot::new(0)), ArrivalLookahead::Unknown);
     }
 
     #[test]

@@ -34,11 +34,15 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod fastforward;
 pub mod fig1;
 pub mod lyapunov;
 mod switch;
 
-pub use arrivals::ScriptedArrivals;
+pub use arrivals::{ArrivalLookahead, ScriptedArrivals};
+pub use fastforward::{
+    run_fastforward, run_fastforward_probed, run_probed_with_engine, run_with_engine, Engine,
+};
 pub use switch::{
     run, run_probed, CompletedFlow, RunConfig, SlotOutcome, SlottedSwitch, SwitchRun,
 };

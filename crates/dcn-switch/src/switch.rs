@@ -191,6 +191,54 @@ impl SlottedSwitch {
         }
         outcome
     }
+
+    /// Executes `k` consecutive slots under one fixed schedule in a single
+    /// table operation per flow (one `drain(id, k)` — hence one change-log
+    /// entry — instead of `k`). Used by the fast-forward engine, which
+    /// guarantees that `k` never exceeds the remaining size of any
+    /// scheduled flow, so a completion can only happen in the *last* slot
+    /// of the window; the recorded completion slot reflects that.
+    /// `arrivals` land at the end of the window's last slot, exactly as if
+    /// polled in that slot by [`Self::step_with_schedule`].
+    pub(crate) fn advance_window(
+        &mut self,
+        schedule: &basrpt_core::Schedule,
+        k: u64,
+        arrivals: Vec<(Voq, u64)>,
+    ) -> SlotOutcome {
+        debug_assert!(k >= 1, "a window spans at least one slot");
+        let last = Slot::new(self.now.index() + k - 1);
+        let mut outcome = SlotOutcome::default();
+        for (id, voq) in schedule.iter() {
+            let drained = self.table.drain(id, k).expect("scheduled flows are active");
+            debug_assert_eq!(drained.drained, k, "window never overshoots a flow");
+            outcome.transmitted += k;
+            if let Some(done) = drained.completed {
+                let arrival = self
+                    .arrival_slots
+                    .remove(&id)
+                    .expect("every active flow has an arrival slot");
+                outcome.completions.push(CompletedFlow {
+                    id,
+                    voq,
+                    size: done.size(),
+                    arrival,
+                    completion: last,
+                });
+            }
+        }
+        self.now = last.next();
+        for (voq, packets) in arrivals {
+            let id = FlowId::new(self.next_id);
+            self.next_id += 1;
+            self.table
+                .insert(FlowState::new(id, voq, packets))
+                .expect("ids are unique by construction");
+            self.arrival_slots.insert(id, self.now);
+            outcome.admitted.push((id, voq, packets));
+        }
+        outcome
+    }
 }
 
 /// Configuration of a slotted simulation run.
@@ -242,15 +290,15 @@ pub struct SwitchRun {
 /// loaded ingress port (scanned over all `num_ports` ports), and the
 /// quadratic Lyapunov function, all on the slot-index time axis.
 #[derive(Debug)]
-struct SwitchSampler {
+pub(crate) struct SwitchSampler {
     num_ports: u32,
-    total_backlog: TimeSeries,
-    max_port_backlog: TimeSeries,
-    lyapunov: TimeSeries,
+    pub(crate) total_backlog: TimeSeries,
+    pub(crate) max_port_backlog: TimeSeries,
+    pub(crate) lyapunov: TimeSeries,
 }
 
 impl SwitchSampler {
-    fn new(num_ports: u32) -> Self {
+    pub(crate) fn new(num_ports: u32) -> Self {
         SwitchSampler {
             num_ports,
             total_backlog: TimeSeries::new(),
@@ -262,6 +310,11 @@ impl SwitchSampler {
 
 impl Probe for SwitchSampler {
     fn wants_decision_timing(&self) -> bool {
+        false
+    }
+
+    fn wants_slot_fidelity(&self) -> bool {
+        // Only listens to samples, which fast-forward windows never skip.
         false
     }
 
@@ -329,7 +382,11 @@ pub fn run_probed<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized, P: Probe>(
     let mut delivered = 0u64;
     let mut penalty_sum = 0.0;
     let mut penalty_slots = 0u64;
-    let mut backlog_sum = 0.0;
+    // Summed in integers (u128 so even u64::MAX-sized backlogs over any
+    // horizon cannot overflow) and converted to f64 once at the end, so
+    // the fast-forward engine's closed-form window sums reproduce it bit
+    // for bit.
+    let mut backlog_sum: u128 = 0;
 
     for t in 0..config.slots {
         let slot = Slot::new(t);
@@ -342,7 +399,7 @@ pub fn run_probed<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized, P: Probe>(
                 delivered: delivered as f64,
             });
         }
-        backlog_sum += switch.table().total_backlog() as f64;
+        backlog_sum += switch.table().total_backlog() as u128;
 
         let started = fan.wants_decision_timing().then(Instant::now);
         let schedule = scheduler.schedule(switch.table());
@@ -409,7 +466,7 @@ pub fn run_probed<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized, P: Probe>(
         } else {
             0.0
         },
-        avg_total_backlog: backlog_sum / config.slots.max(1) as f64,
+        avg_total_backlog: backlog_sum as f64 / config.slots.max(1) as f64,
     }
 }
 

@@ -2,9 +2,8 @@
 
 use crate::table::VoqView;
 use crate::{FlowTable, Schedule, Scheduler};
-use dcn_types::HostId;
+use dcn_types::{HostId, PortSet};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
@@ -178,7 +177,7 @@ impl ExactBasrpt {
 
         let mut best: Option<(f64, Vec<VoqView>)> = None;
         let mut chosen: Vec<VoqView> = Vec::new();
-        let mut used_dsts: BTreeSet<HostId> = BTreeSet::new();
+        let mut used_dsts = PortSet::new();
         self.search(&by_src, &views, 0, &mut chosen, &mut used_dsts, &mut best);
 
         let (_, selection) = best.expect("at least one maximal schedule exists");
@@ -197,14 +196,14 @@ impl ExactBasrpt {
         all: &[VoqView],
         depth: usize,
         chosen: &mut Vec<VoqView>,
-        used_dsts: &mut BTreeSet<HostId>,
+        used_dsts: &mut PortSet,
         best: &mut Option<(f64, Vec<VoqView>)>,
     ) {
         if depth == by_src.len() {
             // Maximality check: no non-empty VOQ may have both ports free.
-            let used_srcs: BTreeSet<HostId> = chosen.iter().map(|c| c.voq.src()).collect();
+            let used_srcs: PortSet = chosen.iter().map(|c| c.voq.src()).collect();
             let maximal = all.iter().all(|view| {
-                used_srcs.contains(&view.voq.src()) || used_dsts.contains(&view.voq.dst())
+                used_srcs.contains(view.voq.src()) || used_dsts.contains(view.voq.dst())
             });
             if !maximal {
                 return;
@@ -223,12 +222,12 @@ impl ExactBasrpt {
         let (_, options) = &by_src[depth];
         // Option A: schedule one of this ingress port's VOQs.
         for view in options {
-            if !used_dsts.contains(&view.voq.dst()) {
+            if !used_dsts.contains(view.voq.dst()) {
                 used_dsts.insert(view.voq.dst());
                 chosen.push(*view);
                 self.search(by_src, all, depth + 1, chosen, used_dsts, best);
                 chosen.pop();
-                used_dsts.remove(&view.voq.dst());
+                used_dsts.remove(view.voq.dst());
             }
         }
         // Option B: leave this ingress port idle (may still be maximal if
@@ -259,6 +258,7 @@ mod tests {
     use crate::scheduler::check_maximal;
     use crate::FlowState;
     use dcn_types::{FlowId, Voq};
+    use std::collections::BTreeSet;
 
     fn insert(t: &mut FlowTable, id: u64, src: u32, dst: u32, size: u64) {
         t.insert(FlowState::new(

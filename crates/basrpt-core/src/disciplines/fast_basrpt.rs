@@ -1,6 +1,6 @@
 //! Fast BASRPT (the paper's Algorithm 1).
 
-use crate::{greedy_by_key, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
 
 /// The practical backlog-aware SRPT approximation (§IV-C, Algorithm 1).
 ///
@@ -85,15 +85,11 @@ impl Scheduler for FastBasrpt {
 
     fn schedule(&mut self, table: &FlowTable) -> Schedule {
         let w = self.weight();
-        let mut candidates: Vec<Candidate> = table
-            .voqs()
-            .map(|view| Candidate {
-                key: w * view.shortest_remaining as f64 - view.backlog as f64,
-                flow: view.shortest_flow,
-                voq: view.voq,
-            })
-            .collect();
-        greedy_by_key(&mut candidates)
+        schedule_champions(table, |view| Candidate {
+            key: w * view.shortest_remaining as f64 - view.backlog as f64,
+            flow: view.shortest_flow,
+            voq: view.voq,
+        })
     }
 
     fn schedule_validity(&self, _table: &FlowTable, _schedule: &Schedule) -> u64 {

@@ -1,6 +1,6 @@
 //! FIFO: arrival-order baseline.
 
-use crate::{greedy_by_key, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
 
 /// First-in-first-out scheduling: flows are admitted to the matching in
 /// arrival order (flow ids are assigned in arrival order by the workload
@@ -40,16 +40,12 @@ impl Scheduler for Fifo {
     }
 
     fn schedule(&mut self, table: &FlowTable) -> Schedule {
-        let mut candidates: Vec<Candidate> = table
-            .voqs()
-            .map(|view| Candidate {
-                // Ids stay far below 2^53, so the f64 key is exact.
-                key: view.oldest_flow.raw() as f64,
-                flow: view.oldest_flow,
-                voq: view.voq,
-            })
-            .collect();
-        greedy_by_key(&mut candidates)
+        schedule_champions(table, |view| Candidate {
+            // Ids stay far below 2^53, so the f64 key is exact.
+            key: view.oldest_flow.raw() as f64,
+            flow: view.oldest_flow,
+            voq: view.voq,
+        })
     }
 
     fn schedule_validity(&self, _table: &FlowTable, _schedule: &Schedule) -> u64 {

@@ -1,6 +1,6 @@
 //! MaxWeight: the classical throughput-optimal baseline.
 
-use crate::{greedy_by_key, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
 
 /// Greedy MaxWeight scheduling: VOQs are served in decreasing order of
 /// backlog (`key = −X_ij`), the `V → 0` limit of BASRPT.
@@ -42,15 +42,11 @@ impl Scheduler for MaxWeight {
     }
 
     fn schedule(&mut self, table: &FlowTable) -> Schedule {
-        let mut candidates: Vec<Candidate> = table
-            .voqs()
-            .map(|view| Candidate {
-                key: -(view.backlog as f64),
-                flow: view.shortest_flow,
-                voq: view.voq,
-            })
-            .collect();
-        greedy_by_key(&mut candidates)
+        schedule_champions(table, |view| Candidate {
+            key: -(view.backlog as f64),
+            flow: view.shortest_flow,
+            voq: view.voq,
+        })
     }
 
     fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {

@@ -1,6 +1,6 @@
 //! Shortest Remaining Processing Time (greedy maximal SRPT).
 
-use crate::{greedy_by_key, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
 
 /// The SRPT discipline used by PDQ, pFabric and PASE (§II-A): repeatedly
 /// select the globally shortest remaining flow whose ingress and egress
@@ -41,15 +41,11 @@ impl Scheduler for Srpt {
     }
 
     fn schedule(&mut self, table: &FlowTable) -> Schedule {
-        let mut candidates: Vec<Candidate> = table
-            .voqs()
-            .map(|v| Candidate {
-                key: v.shortest_remaining as f64,
-                flow: v.shortest_flow,
-                voq: v.voq,
-            })
-            .collect();
-        greedy_by_key(&mut candidates)
+        schedule_champions(table, |v| Candidate {
+            key: v.shortest_remaining as f64,
+            flow: v.shortest_flow,
+            voq: v.voq,
+        })
     }
 
     fn schedule_validity(&self, _table: &FlowTable, _schedule: &Schedule) -> u64 {

@@ -42,7 +42,7 @@
 //! # Ok::<(), basrpt_core::FlowTableError>(())
 //! ```
 
-use crate::table::VoqView;
+use crate::table::{CursorId, VoqView};
 use crate::{FastBasrpt, FlowTable, Schedule, Scheduler};
 use dcn_types::{FlowId, Voq};
 use std::cmp::Ordering;
@@ -239,10 +239,13 @@ pub struct IncrementalScheduler<D: VoqDiscipline> {
     entries: HashMap<Voq, (D::Key, FlowId)>,
     /// All candidates, pre-sorted by `(key, head flow, voq)`.
     order: BTreeSet<(D::Key, FlowId, Voq)>,
-    /// Scratch bitmap of busy ingress ports, reused across decisions.
-    busy_src: Vec<bool>,
-    /// Scratch bitmap of busy egress ports, reused across decisions.
-    busy_dst: Vec<bool>,
+    /// Change-log registration per table identity, so compaction keeps the
+    /// suffix this scheduler has not consumed yet (instead of forcing a
+    /// full rebuild whenever many drains pile up between decisions, as long
+    /// fast-forward windows do). Purely an optimization: a lost
+    /// registration — e.g. in a clone of this scheduler, which shares the
+    /// originals' slots — only means compaction may trigger a rebuild.
+    registrations: HashMap<u64, CursorId>,
 }
 
 impl<D: VoqDiscipline> IncrementalScheduler<D> {
@@ -254,8 +257,7 @@ impl<D: VoqDiscipline> IncrementalScheduler<D> {
             log_pos: 0,
             entries: HashMap::new(),
             order: BTreeSet::new(),
-            busy_src: Vec::new(),
-            busy_dst: Vec::new(),
+            registrations: HashMap::new(),
         }
     }
 
@@ -302,6 +304,7 @@ impl<D: VoqDiscipline> IncrementalScheduler<D> {
                     self.apply(table, voq);
                 }
                 self.log_pos = table.change_log_end();
+                self.ack(table);
                 return;
             }
         }
@@ -309,6 +312,18 @@ impl<D: VoqDiscipline> IncrementalScheduler<D> {
         self.rebuild(table);
         self.synced_table = Some(table.table_id());
         self.log_pos = table.change_log_end();
+        self.ack(table);
+    }
+
+    /// Registers with `table`'s change log on first contact and
+    /// acknowledges everything consumed so far, releasing that prefix for
+    /// compaction.
+    fn ack(&mut self, table: &FlowTable) {
+        let reg = *self
+            .registrations
+            .entry(table.table_id())
+            .or_insert_with(|| table.register_cursor());
+        table.ack_changes(reg, self.log_pos);
     }
 
     /// Consistency check: every tracked entry matches a fresh ranking of
@@ -362,31 +377,16 @@ impl<D: VoqDiscipline> Scheduler for IncrementalScheduler<D> {
         // candidate can be admitted and the walk can stop early without
         // changing the result.
         let max_selections = table.num_active_ingress_ports();
-        // The scratch bitmaps mirror the schedule's busy-port sets, turning
-        // the per-candidate admission test into two array reads. A port
-        // beyond a bitmap's current length has never been admitted, so it
-        // reads as free.
-        self.busy_src.fill(false);
-        self.busy_dst.fill(false);
+        // The schedule's own busy-port bitsets make the per-candidate
+        // admission test two word reads; no separate scratch state needed.
         let mut schedule = Schedule::new();
         for (_, flow, voq) in self.order.iter() {
-            let (src, dst) = (voq.src().as_usize(), voq.dst().as_usize());
-            if self.busy_src.get(src).copied().unwrap_or(false)
-                || self.busy_dst.get(dst).copied().unwrap_or(false)
-            {
+            if !schedule.admits(*voq) {
                 continue;
             }
             schedule
                 .add(*flow, *voq)
-                .expect("bitmaps mirror the busy-port sets");
-            if self.busy_src.len() <= src {
-                self.busy_src.resize(src + 1, false);
-            }
-            self.busy_src[src] = true;
-            if self.busy_dst.len() <= dst {
-                self.busy_dst.resize(dst + 1, false);
-            }
-            self.busy_dst[dst] = true;
+                .expect("admits() checked both ports");
             if schedule.len() == max_selections {
                 break;
             }
@@ -501,13 +501,44 @@ mod tests {
         insert(&mut t, 1, 0, 1, 1_000_000);
         let mut inc = IncrementalScheduler::new(Srpt::new());
         inc.schedule(&t);
-        // Far more drains than the compaction cap of max(1024, 8·Q).
+        // The scheduler's registration pins the log, so compaction only
+        // happens via stalled-cursor eviction: push far past the 32× soft
+        // cap so the table force-acks and drops everything.
+        insert(&mut t, 2, 1, 0, 100_000);
+        for _ in 0..40_000 {
+            t.drain(FlowId::new(1), 1).unwrap();
+            t.drain(FlowId::new(2), 1).unwrap();
+        }
+        assert!(
+            t.changes_since(0).is_none(),
+            "drains should have outrun the stalled-cursor threshold"
+        );
+        check_equivalence(&mut inc, &mut Srpt::new(), &t).unwrap();
+    }
+
+    #[test]
+    fn registration_pins_log_across_long_windows() {
+        let mut t = FlowTable::new();
+        insert(&mut t, 1, 0, 1, 1_000_000);
+        let mut inc = IncrementalScheduler::new(Srpt::new());
+        inc.schedule(&t);
+        let base = t.change_log_end();
+        // Well past the soft cap of max(1024, 8·Q) — without a registered
+        // cursor the log would have been cleared — but short of the 32×
+        // stalled-cursor threshold.
         insert(&mut t, 2, 1, 0, 10_000);
         for _ in 0..2000 {
             t.drain(FlowId::new(1), 1).unwrap();
             t.drain(FlowId::new(2), 1).unwrap();
         }
+        assert!(
+            t.changes_since(base).is_some(),
+            "the scheduler's registration should pin its unconsumed suffix"
+        );
         check_equivalence(&mut inc, &mut Srpt::new(), &t).unwrap();
+        // Having consumed and acked, the scheduler releases the prefix:
+        // the next burst of changes may compact it away again.
+        assert!(t.changes_since(base).is_some() || t.change_log_end() > base);
     }
 
     #[test]

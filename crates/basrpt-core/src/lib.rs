@@ -74,5 +74,7 @@ pub use disciplines::{
 pub use flow::FlowState;
 pub use incremental::{check_equivalence, F64Key, IncrementalScheduler, VoqDiscipline};
 pub use schedule::{Schedule, ScheduleError};
-pub use scheduler::{check_maximal, greedy_by_key, Candidate, CountingScheduler, Scheduler};
-pub use table::{DrainOutcome, FlowTable, FlowTableError, TableCursor, VoqView};
+pub use scheduler::{
+    check_maximal, greedy_by_key, schedule_champions, Candidate, CountingScheduler, Scheduler,
+};
+pub use table::{CursorId, DrainOutcome, FlowTable, FlowTableError, TableCursor, VoqView};

@@ -1,15 +1,26 @@
 //! Literal reference implementations for differential testing.
 //!
 //! The production schedulers rank one candidate per non-empty VOQ (the
-//! VOQ's shortest flow) — an `O(Q log Q)` decision. The paper's
-//! Algorithm 1 as written instead sorts *every* active flow. The two are
-//! equivalent because all flows of a VOQ share the same backlog term, so
-//! the VOQ's shortest flow always precedes its siblings in the global
-//! order; this module provides the literal all-flows variant so tests can
-//! verify that equivalence (and benches can measure the saved work).
+//! VOQ's shortest flow) — an `O(Q log Q)` decision served by the
+//! champion index inside [`FlowTable`]. The paper's Algorithm 1 as
+//! written instead sorts *every* active flow. The two are equivalent
+//! because all flows of a VOQ share the same backlog term, so the VOQ's
+//! shortest flow always precedes its siblings in the global order; this
+//! module provides the literal all-flows variants so tests can verify
+//! that equivalence (and benches can measure the saved work).
+//!
+//! [`schedule_scan`] is the generic member of the family: a full `O(F)`
+//! scan that recomputes every per-VOQ champion from scratch and then
+//! ranks them through the same [`VoqDiscipline`] keys the incremental
+//! paths use. It never touches the champion index or the change log, so
+//! the differential suites pin the indexed schedulers bit-identical to
+//! it — same winners, same [`crate::greedy_by_key`]-style tie-breaks.
 
-use crate::{FlowTable, Schedule};
-use dcn_types::FlowId;
+use crate::incremental::VoqDiscipline;
+use crate::table::VoqView;
+use crate::{FlowTable, Schedule, Scheduler};
+use dcn_types::{FlowId, Voq};
+use std::collections::BTreeMap;
 
 /// The paper's Algorithm 1 verbatim: sort all active flows by
 /// `(V/N)·remaining − voq_backlog` (ties: smaller remaining, then smaller
@@ -68,10 +79,118 @@ fn ranked_all_flows(table: &FlowTable, key: impl Fn(f64, f64) -> f64) -> Schedul
     schedule
 }
 
+/// Full-scan twin of the champion-indexed schedulers.
+///
+/// Rebuilds every per-VOQ summary ([`VoqView`]) by scanning all `F`
+/// active flows, ranks the summaries with `discipline`, and admits
+/// greedily in `(key, head flow)` order — exactly the ordering contract
+/// of [`crate::greedy_by_key`] and of [`crate::IncrementalScheduler`]'s
+/// sorted candidate set, including the `FlowId` tie-break. Costs
+/// `O(F + Q log Q)` per call and reads nothing but the flow iterator, so
+/// it is immune to champion-index or change-log bugs by construction.
+pub fn schedule_scan<D: VoqDiscipline>(discipline: &D, table: &FlowTable) -> Schedule {
+    struct Scratch {
+        backlog: u64,
+        len: usize,
+        shortest: (u64, FlowId),
+        oldest: FlowId,
+    }
+    let mut per_voq: BTreeMap<Voq, Scratch> = BTreeMap::new();
+    for f in table.iter() {
+        let s = per_voq.entry(f.voq()).or_insert(Scratch {
+            backlog: 0,
+            len: 0,
+            shortest: (f.remaining(), f.id()),
+            oldest: f.id(),
+        });
+        s.backlog += f.remaining();
+        s.len += 1;
+        s.shortest = s.shortest.min((f.remaining(), f.id()));
+        s.oldest = s.oldest.min(f.id());
+    }
+    let mut ranked: Vec<(D::Key, FlowId, Voq)> = per_voq
+        .iter()
+        .map(|(voq, s)| {
+            let view = VoqView {
+                voq: *voq,
+                backlog: s.backlog,
+                shortest_remaining: s.shortest.0,
+                shortest_flow: s.shortest.1,
+                oldest_flow: s.oldest,
+                len: s.len,
+            };
+            let (key, head) = discipline.rank(&view);
+            (key, head, *voq)
+        })
+        .collect();
+    // Head flows are unique across VOQs, so `(key, head)` is already a
+    // total order; the trailing `Voq` never decides.
+    ranked.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut schedule = Schedule::new();
+    for (_, flow, voq) in ranked {
+        if schedule.admits(voq) {
+            schedule
+                .add(flow, voq)
+                .expect("admits() checked both ports");
+        }
+    }
+    schedule
+}
+
+/// [`Scheduler`] adapter around [`schedule_scan`], so differential suites
+/// can drive a full-scan twin through the same simulator plumbing as the
+/// indexed scheduler under test. Validity bounds are forwarded to the
+/// discipline, matching [`crate::IncrementalScheduler`].
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::reference::ScanScheduler;
+/// use basrpt_core::{FlowState, FlowTable, Scheduler, Srpt};
+/// use dcn_types::{FlowId, HostId, Voq};
+///
+/// let mut t = FlowTable::new();
+/// t.insert(FlowState::new(FlowId::new(1), Voq::new(HostId::new(0), HostId::new(1)), 7))?;
+/// let scan = ScanScheduler::new(Srpt::new()).schedule(&t);
+/// let indexed = Srpt::new().schedule(&t);
+/// assert_eq!(scan, indexed);
+/// # Ok::<(), basrpt_core::FlowTableError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanScheduler<D: VoqDiscipline> {
+    discipline: D,
+}
+
+impl<D: VoqDiscipline> ScanScheduler<D> {
+    /// Wraps `discipline` in a full-scan scheduler.
+    pub fn new(discipline: D) -> Self {
+        ScanScheduler { discipline }
+    }
+
+    /// The wrapped discipline.
+    pub fn discipline(&self) -> &D {
+        &self.discipline
+    }
+}
+
+impl<D: VoqDiscipline> Scheduler for ScanScheduler<D> {
+    fn name(&self) -> &str {
+        self.discipline.name()
+    }
+
+    fn schedule(&mut self, table: &FlowTable) -> Schedule {
+        schedule_scan(&self.discipline, table)
+    }
+
+    fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
+        self.discipline.schedule_validity(table, schedule)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FastBasrpt, FlowState, Scheduler, Srpt};
+    use crate::{FastBasrpt, Fifo, FlowState, MaxWeight, Scheduler, Srpt, ThresholdBacklogSrpt};
     use dcn_types::{HostId, Voq};
 
     fn insert(t: &mut FlowTable, id: u64, src: u32, dst: u32, size: u64) {
@@ -117,5 +236,57 @@ mod tests {
         let t = FlowTable::new();
         assert!(srpt_all_flows(&t).is_empty());
         assert!(fast_basrpt_all_flows(&t, 10.0, 4).is_empty());
+        assert!(schedule_scan(&Srpt::new(), &t).is_empty());
+    }
+
+    fn assert_scan_matches_indexed(t: &FlowTable) {
+        assert_eq!(schedule_scan(&Srpt::new(), t), Srpt::new().schedule(t));
+        assert_eq!(schedule_scan(&Fifo::new(), t), Fifo::new().schedule(t));
+        assert_eq!(
+            schedule_scan(&MaxWeight::new(), t),
+            MaxWeight::new().schedule(t)
+        );
+        for v in [0.0, 1.0, 2500.0] {
+            assert_eq!(
+                schedule_scan(&FastBasrpt::new(v, 4), t),
+                FastBasrpt::new(v, 4).schedule(t),
+                "V = {v}"
+            );
+        }
+        for thr in [0, 10, u64::MAX] {
+            assert_eq!(
+                schedule_scan(&ThresholdBacklogSrpt::new(thr), t),
+                ThresholdBacklogSrpt::new(thr).schedule(t),
+                "threshold = {thr}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_matches_indexed_across_disciplines() {
+        let mut t = demo_table();
+        assert_scan_matches_indexed(&t);
+        // Mutate through drains, a completion, and an id-reusing insert so
+        // the indexed path leans on its lazily repaired champions.
+        t.drain(FlowId::new(2), 4).unwrap();
+        t.drain(FlowId::new(6), 1).unwrap(); // completes
+        insert(&mut t, 6, 2, 0, 3); // id reuse
+        t.remove(FlowId::new(4)).unwrap();
+        assert_scan_matches_indexed(&t);
+    }
+
+    #[test]
+    fn scan_scheduler_forwards_name_and_validity() {
+        let t = demo_table();
+        let mut scan = ScanScheduler::new(FastBasrpt::new(2500.0, 144));
+        assert_eq!(scan.name(), "fast BASRPT");
+        assert_eq!(scan.discipline().v(), 2500.0);
+        let s = scan.schedule(&t);
+        let mut direct = FastBasrpt::new(2500.0, 144);
+        let direct_schedule = direct.schedule(&t);
+        assert_eq!(
+            Scheduler::schedule_validity(&scan, &t, &s),
+            Scheduler::schedule_validity(&direct, &t, &direct_schedule)
+        );
     }
 }

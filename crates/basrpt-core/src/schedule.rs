@@ -1,7 +1,7 @@
 //! Crossbar schedules (matchings between ingress and egress ports).
 
-use dcn_types::{FlowId, HostId, Voq};
-use std::collections::BTreeSet;
+use dcn_types::{FlowId, HostId, PortSet, Voq};
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
@@ -35,6 +35,10 @@ impl Error for ScheduleError {}
 /// receives at most one flow. [`Schedule::add`] rejects violations, so any
 /// schedule that exists is valid by construction.
 ///
+/// Port occupancy is tracked in dense [`PortSet`] bitmaps, so the greedy
+/// admission loops ([`Schedule::admits`]) and flow membership
+/// ([`Schedule::contains`]) are `O(1)`.
+///
 /// # Example
 ///
 /// ```
@@ -48,12 +52,24 @@ impl Error for ScheduleError {}
 /// assert_eq!(s.len(), 1);
 /// # Ok::<(), ScheduleError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Schedule {
     selected: Vec<(FlowId, Voq)>,
-    busy_ingress: BTreeSet<HostId>,
-    busy_egress: BTreeSet<HostId>,
+    flows: HashSet<FlowId>,
+    busy_ingress: PortSet,
+    busy_egress: PortSet,
 }
+
+/// Two schedules are equal when they select the same flows in the same
+/// order; the busy sets and membership index are derived from `selected`,
+/// so they never need comparing.
+impl PartialEq for Schedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.selected == other.selected
+    }
+}
+
+impl Eq for Schedule {}
 
 impl Schedule {
     /// Creates an empty schedule.
@@ -73,12 +89,12 @@ impl Schedule {
 
     /// Whether `ingress` already sends in this schedule.
     pub fn ingress_busy(&self, ingress: HostId) -> bool {
-        self.busy_ingress.contains(&ingress)
+        self.busy_ingress.contains(ingress)
     }
 
     /// Whether `egress` already receives in this schedule.
     pub fn egress_busy(&self, egress: HostId) -> bool {
-        self.busy_egress.contains(&egress)
+        self.busy_egress.contains(egress)
     }
 
     /// Whether a flow in `voq` could still be added.
@@ -100,6 +116,7 @@ impl Schedule {
         }
         self.busy_ingress.insert(voq.src());
         self.busy_egress.insert(voq.dst());
+        self.flows.insert(flow);
         self.selected.push((flow, voq));
         Ok(())
     }
@@ -115,9 +132,9 @@ impl Schedule {
         self.selected.iter().map(|&(id, _)| id)
     }
 
-    /// Whether this schedule selects the given flow.
+    /// Whether this schedule selects the given flow. `O(1)`.
     pub fn contains(&self, flow: FlowId) -> bool {
-        self.selected.iter().any(|&(id, _)| id == flow)
+        self.flows.contains(&flow)
     }
 }
 
@@ -184,5 +201,19 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
         assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn equality_is_by_selection() {
+        let mut a = Schedule::new();
+        let mut b = Schedule::new();
+        assert_eq!(a, b);
+        a.add(FlowId::new(1), voq(0, 1)).unwrap();
+        assert_ne!(a, b);
+        b.add(FlowId::new(1), voq(0, 1)).unwrap();
+        assert_eq!(a, b);
+        // Rejected adds leave no trace that could break equality.
+        assert!(b.add(FlowId::new(2), voq(0, 2)).is_err());
+        assert_eq!(a, b);
     }
 }

@@ -1,5 +1,6 @@
 //! The scheduler interface and the shared greedy maximal-matching engine.
 
+use crate::table::VoqView;
 use crate::{FlowTable, Schedule};
 use dcn_types::{FlowId, Voq};
 
@@ -182,6 +183,22 @@ pub fn greedy_by_key(candidates: &mut [Candidate]) -> Schedule {
         }
     }
     schedule
+}
+
+/// Ranks one candidate per non-empty VOQ — read in `O(1)` apiece off the
+/// table's champion index — and runs [`greedy_by_key`]: the shared skeleton
+/// of the key-driven one-pass disciplines (SRPT, fast BASRPT, MaxWeight,
+/// FIFO). The whole decision costs `O(Q log Q)` in the number of non-empty
+/// VOQs (≤ P² for P ports), independent of the flow count; the `O(F log F)`
+/// all-flows formulation survives as [`reference::schedule_scan`]
+/// (crate::reference::schedule_scan) for differential testing.
+pub fn schedule_champions<F>(table: &FlowTable, to_candidate: F) -> Schedule
+where
+    F: FnMut(&VoqView) -> Candidate,
+{
+    let mut to_candidate = to_candidate;
+    let mut candidates: Vec<Candidate> = table.voqs().map(|v| to_candidate(&v)).collect();
+    greedy_by_key(&mut candidates)
 }
 
 /// Asserts that `schedule` is a valid *maximal* matching over the non-empty

@@ -12,8 +12,14 @@
 //! # The safe-direction invariance argument
 //!
 //! [`greedy_by_key`](crate::greedy_by_key) admits candidates in ascending
-//! `(key, flow id)` order. Fix a computed matching `M`. Suppose that over
-//! one slot (with no arrivals and no completions)
+//! `(key, flow id)` order — whether those candidates come from the
+//! champion index (one per non-empty VOQ, see
+//! [`schedule_champions`](crate::schedule_champions)), from
+//! [`IncrementalScheduler`](crate::IncrementalScheduler)'s sorted set, or
+//! from the all-flows reference scan: the bounds below depend only on the
+//! admission order, not on how the candidate list was produced. Fix a
+//! computed matching `M`. Suppose that over one slot (with no arrivals
+//! and no completions)
 //!
 //! * every candidate in `M` shifts its key by the **same exact amount** in
 //!   the **safe direction** (towards the front, or not at all), and

@@ -24,7 +24,7 @@ use basrpt_core::{
     ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, IncrementalScheduler, MaxWeight,
     Scheduler, Srpt,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dcn_types::{FlowId, HostId, Voq};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -448,6 +448,70 @@ fn bench_fastforward(c: &mut Criterion) {
     group.finish();
 }
 
+/// The champion index head to head against the full scan it replaced,
+/// at fixed fabric size (144 hosts, so Q ≤ 144² VOQs) and growing flow
+/// count. Every iteration applies one table event (`one_event`, which
+/// also recycles completed ids) before deciding, so the index pays its
+/// incremental maintenance inside the loop — no free pre-built state:
+///
+/// * `scan` — `reference::schedule_scan`: recompute all per-VOQ
+///   champions from the `F` flows, `O(F + Q log Q)` per decision;
+/// * `one_pass` — the production `FastBasrpt`: read champions from the
+///   table's index and sort them, `O(Q log Q)` per decision;
+/// * `indexed` — `IncrementalScheduler` on top: re-key only the event's
+///   VOQ, `O(log Q)` patch plus the pre-sorted walk.
+///
+/// The `scan`/`one_pass` gap is the champion index's win and must be
+/// ≥ 5× from `F = 10_000` up (the indexed rows are then strictly
+/// faster still); `results/bench.json` records all three series.
+fn bench_champion_index(c: &mut Criterion) {
+    use basrpt_core::reference::schedule_scan;
+
+    let mut group = c.benchmark_group("champion_index");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(15);
+
+    for &flows in &[100usize, 1_000, 10_000, 100_000] {
+        {
+            let mut table = table_with(144, flows, 42);
+            let discipline = FastBasrpt::new(2500.0, 144);
+            let mut cursor = 0usize;
+            group.bench_with_input(BenchmarkId::new("scan", flows), &flows, |b, &f| {
+                b.iter(|| {
+                    one_event(&mut table, &mut cursor, f);
+                    schedule_scan(&discipline, std::hint::black_box(&table))
+                })
+            });
+        }
+        {
+            let mut table = table_with(144, flows, 42);
+            let mut sched = FastBasrpt::new(2500.0, 144);
+            let mut cursor = 0usize;
+            group.bench_with_input(BenchmarkId::new("one_pass", flows), &flows, |b, &f| {
+                b.iter(|| {
+                    one_event(&mut table, &mut cursor, f);
+                    sched.schedule(std::hint::black_box(&table))
+                })
+            });
+        }
+        {
+            let mut table = table_with(144, flows, 42);
+            let mut sched = IncrementalScheduler::new(FastBasrpt::new(2500.0, 144));
+            sched.schedule(&table); // pay the initial build outside the loop
+            let mut cursor = 0usize;
+            group.bench_with_input(BenchmarkId::new("indexed", flows), &flows, |b, &f| {
+                b.iter(|| {
+                    one_event(&mut table, &mut cursor, f);
+                    sched.schedule(std::hint::black_box(&table))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_exact_blowup(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_basrpt_enumeration");
     group
@@ -478,9 +542,54 @@ criterion_group!(
     benches,
     bench_disciplines,
     bench_per_event,
+    bench_champion_index,
     bench_probe_overhead,
     bench_event_loop,
     bench_fastforward,
     bench_exact_blowup
 );
-criterion_main!(benches);
+
+/// Serializes the recorded medians as `results/bench.json`, shaped
+/// `{ group: { "function/parameter": { median_ns, n } } }` — the
+/// machine-readable companion to the `tee`'d console logs in `results/`.
+fn write_bench_json(results: &[criterion::BenchResult]) -> std::io::Result<String> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<&str, Vec<&criterion::BenchResult>> = BTreeMap::new();
+    for r in results {
+        let group = r.id.split('/').next().unwrap_or(&r.id);
+        groups.entry(group).or_default().push(r);
+    }
+    let mut json = String::from("{\n");
+    for (gi, (group, rows)) in groups.iter().enumerate() {
+        json.push_str(&format!("  {group:?}: {{\n"));
+        for (ri, r) in rows.iter().enumerate() {
+            let bench = r.id.strip_prefix(group).and_then(|s| s.strip_prefix('/'));
+            json.push_str(&format!(
+                "    {:?}: {{ \"median_ns\": {:.1}, \"n\": {} }}{}\n",
+                bench.unwrap_or(&r.id),
+                r.median_ns,
+                r.n,
+                if ri + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "  }}{}\n",
+            if gi + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    // `cargo bench` runs with the package as CWD; anchor on the manifest
+    // so the file lands in the workspace-level results/ either way.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench.json");
+    std::fs::write(path, &json)?;
+    Ok(path.to_string())
+}
+
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    match write_bench_json(&results) {
+        Ok(path) => println!("recorded {} benchmark medians to {path}", results.len()),
+        Err(e) => eprintln!("could not write bench.json: {e}"),
+    }
+}

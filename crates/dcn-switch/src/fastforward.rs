@@ -159,6 +159,11 @@ where
     let mut cached: Option<Schedule> = None;
     let mut validity_left = 0u64;
     let mut cursor = TableCursor::new(switch.table());
+    // Register with the change log so compaction preserves exactly the
+    // suffix this cursor has not absorbed yet; long quiescent windows
+    // would otherwise outgrow the log's soft cap and force the scheduler
+    // (and any incremental index it keeps) to rebuild from scratch.
+    let cursor_reg = switch.table().register_cursor();
 
     let mut t = 0u64;
     while t < config.slots {
@@ -188,6 +193,9 @@ where
                 .schedule_validity(switch.table(), &schedule)
                 .max(1);
             cursor.resync(switch.table());
+            switch
+                .table()
+                .ack_changes(cursor_reg, switch.table().change_log_end());
             cached = Some(schedule);
         }
         let schedule = cached
@@ -304,6 +312,9 @@ where
             // Only the schedule's own drains hit the change log: absorb
             // them, the validity bound already accounts for their effect.
             cursor.resync(switch.table());
+            switch
+                .table()
+                .ack_changes(cursor_reg, switch.table().change_log_end());
         }
         t += k;
     }

@@ -28,11 +28,13 @@
 mod bytes;
 mod flow;
 mod ids;
+mod portset;
 mod rate;
 mod time;
 
 pub use bytes::Bytes;
 pub use flow::{FlowClass, FlowId};
 pub use ids::{HostId, RackId, Voq};
+pub use portset::PortSet;
 pub use rate::Rate;
 pub use time::{SimTime, Slot};

@@ -12,9 +12,33 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Summary statistics of one completed benchmark, captured by the
+/// measurement loop for harnesses that want machine-readable output in
+/// addition to the printed report (the real criterion writes
+/// `target/criterion/**.json`; the stub hands the numbers back instead).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id, `group/function/parameter`.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Number of samples behind the median.
+    pub n: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every benchmark result recorded since the last call (process
+/// global, in completion order). A custom `main` can run its groups and
+/// then persist these.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
 
 /// Identifier of one benchmark within a group: `function/parameter`.
 #[derive(Debug, Clone)]
@@ -184,6 +208,7 @@ fn report(full_id: &str, samples: &[f64]) {
     let min = sorted[0];
     let max = sorted[sorted.len() - 1];
     let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let median = sorted[sorted.len() / 2];
     println!("{full_id}");
     println!(
         "                        time:   [{} {} {}]",
@@ -191,6 +216,11 @@ fn report(full_id: &str, samples: &[f64]) {
         format_time(mean),
         format_time(max)
     );
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        id: full_id.to_string(),
+        median_ns: median * 1e9,
+        n: sorted.len(),
+    });
 }
 
 /// Top-level benchmark harness handle.
@@ -270,5 +300,18 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("srpt", 100).id, "srpt/100");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn report_records_takeable_results() {
+        // Drain anything left over from other tests in this process.
+        let _ = take_results();
+        report("grp/fn/1", &[3.0e-9, 1.0e-9, 2.0e-9]);
+        let got = take_results();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, "grp/fn/1");
+        assert_eq!(got[0].n, 3);
+        assert!((got[0].median_ns - 2.0).abs() < 1e-9);
+        assert!(take_results().is_empty(), "take drains the buffer");
     }
 }

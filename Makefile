@@ -1,10 +1,12 @@
 # Developer entry points. `make verify` is the tier-1 gate from ROADMAP.md.
 
-.PHONY: verify lint test bench-smoke trace-smoke docs clean
+.PHONY: verify lint test bench-smoke trace-smoke docs doc-tests clean
 
 # Tier-1: release build + the root package's quiet test run, plus the
-# trace round-trip smoke and a warning-free lint/format gate.
-verify: trace-smoke lint
+# trace round-trip smoke, a warning-free lint/format gate, and the doc
+# gates (rustdoc warnings — including broken intra-doc links — fail the
+# build, and every worked example must execute).
+verify: trace-smoke lint docs doc-tests
 	cargo build --release
 	cargo test -q
 
@@ -29,9 +31,14 @@ bench-smoke:
 trace-smoke:
 	cargo run --release --example trace_run target/trace-smoke
 
-# API docs for the workspace crates; warning-free is enforced in review.
+# API docs for the workspace crates; `-D warnings` turns every rustdoc
+# warning (broken intra-doc links above all) into a hard failure.
 docs:
-	cargo doc --no-deps
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Every rustdoc worked example across the workspace, compiled and run.
+doc-tests:
+	cargo test --workspace --doc -q
 
 clean:
 	cargo clean

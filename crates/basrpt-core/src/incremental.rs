@@ -227,6 +227,34 @@ impl VoqDiscipline for crate::ThresholdBacklogSrpt {
 /// `(key, flow id)` pairs are unique across candidates (a flow lives in
 /// exactly one VOQ), so the extra `voq` component of the set ordering
 /// never influences relative order.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::{FlowState, FlowTable, IncrementalScheduler, Scheduler, Srpt};
+/// use dcn_types::{FlowId, HostId, Voq};
+///
+/// let mut table = FlowTable::new();
+/// for (id, src, dst, size) in [(1, 0, 1, 500), (2, 0, 2, 100), (3, 2, 3, 900)] {
+///     let voq = Voq::new(HostId::new(src), HostId::new(dst));
+///     table.insert(FlowState::new(FlowId::new(id), voq, size))?;
+/// }
+///
+/// let mut incremental = IncrementalScheduler::new(Srpt::new());
+/// let mut one_pass = Srpt::new();
+/// // Identical matchings, decision after decision: flow 2 preempts flow 1
+/// // at source 0 (shorter remaining), flow 3 is unconstrained.
+/// let schedule = incremental.schedule(&table);
+/// assert_eq!(schedule, one_pass.schedule(&table));
+/// assert_eq!(schedule.len(), 2);
+/// assert!(schedule.contains(FlowId::new(2)));
+///
+/// // After an event, the next call patches only the changed VOQ
+/// // (O(log Q)) instead of re-sorting every candidate.
+/// table.drain(FlowId::new(2), 100)?; // flow 2 completes
+/// assert_eq!(incremental.schedule(&table), one_pass.schedule(&table));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalScheduler<D: VoqDiscipline> {
     discipline: D,

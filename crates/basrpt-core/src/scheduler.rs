@@ -30,9 +30,10 @@ pub trait Scheduler {
     /// bound immediately.
     ///
     /// Fast-forward drivers (see `dcn-switch`) use this to replay a cached
-    /// schedule instead of re-deciding every slot; see the [`validity`]
-    /// (crate::validity) module for the invariance argument behind the
-    /// per-discipline overrides. The default of `1` is always sound — a
+    /// schedule instead of re-deciding every slot; see the
+    /// [`validity`](crate::validity) module for the invariance argument
+    /// behind the per-discipline overrides. The default of `1` is always
+    /// sound — a
     /// schedule is trivially valid for the slot it was computed for — and
     /// is what stateful disciplines (round-robin's rotation, exact
     /// BASRPT) must keep so they are re-consulted every slot.
@@ -190,8 +191,9 @@ pub fn greedy_by_key(candidates: &mut [Candidate]) -> Schedule {
 /// of the key-driven one-pass disciplines (SRPT, fast BASRPT, MaxWeight,
 /// FIFO). The whole decision costs `O(Q log Q)` in the number of non-empty
 /// VOQs (≤ P² for P ports), independent of the flow count; the `O(F log F)`
-/// all-flows formulation survives as [`reference::schedule_scan`]
-/// (crate::reference::schedule_scan) for differential testing.
+/// all-flows formulation survives as
+/// [`reference::schedule_scan`](crate::reference::schedule_scan) for
+/// differential testing.
 pub fn schedule_champions<F>(table: &FlowTable, to_candidate: F) -> Schedule
 where
     F: FnMut(&VoqView) -> Candidate,

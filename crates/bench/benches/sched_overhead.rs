@@ -19,6 +19,11 @@
 //! of making each decision cheaper, the macro-slot fast-forward engine
 //! makes *fewer* decisions, re-invoking the scheduler only when a cached
 //! schedule can no longer be proven valid (see ARCHITECTURE.md).
+//!
+//! The `delta_reschedule` group prices the third lever — making the
+//! *binding* of each decision cheaper: the delta-rate fabric engine pays
+//! calendar work only for the flows whose allocation changed, versus the
+//! full per-event rebind the PR 3–5 engine paid (see PERFMODEL.md).
 
 use basrpt_core::{
     ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, IncrementalScheduler, MaxWeight,
@@ -331,6 +336,115 @@ fn bench_event_loop(c: &mut Criterion) {
                 .expect("valid simulation")
         })
     });
+    group.bench_function("engine_rebuild_paper_fabric", |b| {
+        b.iter(|| {
+            let mut sched = Srpt::new();
+            let generator = spec.generator(42).expect("valid spec");
+            reference::simulate_full_rebuild(&topo, &mut sched, generator, config)
+                .expect("valid simulation")
+        })
+    });
+    group.finish();
+}
+
+/// Per-event rebinding cost under the delta discipline vs the full
+/// recompute it replaced, as the scheduled set grows 64 → 4096:
+///
+/// * `targeted_churn` — the delta engine's calendar work for a one-flow
+///   allocation change: one [`CompletionCalendar::update`] plus the
+///   validated peek, `O(log n)` — near-flat in `n`;
+/// * `full_set_schedule` — the same one-flow change bound through
+///   `set_schedule`, which rebuilds the live map even though nothing else
+///   moved: `O(n)` hashing and allocation per event (the PR 3–5 engine's
+///   per-event floor);
+/// * `allocator_swap_one` — the whole `DeltaAllocator::apply` for a
+///   schedule differing in one flow: `O(n)` generation stamps (one hash
+///   probe and one entry copy per kept flow, no calendar work) plus the
+///   `O(log n)` calendar edit, sitting between the two bounds above.
+///
+/// In the fabric engine the schedule is a crossbar matching (≤ 72 pairs on
+/// the paper topology), so `targeted_churn` is the term that scales with
+/// the *backlog*, and its flatness is what unlocks million-flow runs —
+/// `PERFMODEL.md` has the full decomposition.
+fn bench_delta_reschedule(c: &mut Criterion) {
+    use dcn_fabric::{CompletionCalendar, DeltaAllocator};
+    use dcn_types::{Rate, SimTime};
+
+    let mut group = c.benchmark_group("delta_reschedule");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    for &n in &[64usize, 256, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pairs: Vec<(FlowId, SimTime)> = (0..n)
+            .map(|i| {
+                (
+                    FlowId::new(i as u64),
+                    SimTime::from_micros(rng.gen_range(1.0..1e6)),
+                )
+            })
+            .collect();
+
+        {
+            let mut cal = CompletionCalendar::new();
+            cal.set_schedule(pairs.iter().copied());
+            let mut tick = 0u64;
+            group.bench_with_input(BenchmarkId::new("targeted_churn", n), &n, |b, &n| {
+                b.iter(|| {
+                    // One flow's completion instant moves; nothing else is
+                    // touched. Rotate the victim and the instant so the
+                    // heap sees genuine churn, not a cached no-op.
+                    tick += 1;
+                    let victim = FlowId::new(tick % n as u64);
+                    cal.update(victim, SimTime::from_micros((1 + tick % 999_983) as f64));
+                    cal.next_completion()
+                })
+            });
+        }
+
+        {
+            let mut cal = CompletionCalendar::new();
+            cal.set_schedule(pairs.iter().copied());
+            let mut moved = pairs.clone();
+            let mut tick = 0u64;
+            group.bench_with_input(BenchmarkId::new("full_set_schedule", n), &n, |b, &n| {
+                b.iter(|| {
+                    tick += 1;
+                    let victim = (tick % n as u64) as usize;
+                    moved[victim].1 = SimTime::from_micros((1 + tick % 999_983) as f64);
+                    cal.set_schedule(moved.iter().copied());
+                    cal.next_completion()
+                })
+            });
+        }
+
+        {
+            let mut alloc = DeltaAllocator::new(Rate::from_gbps(10.0));
+            let base: Vec<(FlowId, Voq)> = (0..n)
+                .map(|i| {
+                    (
+                        FlowId::new(i as u64),
+                        Voq::new(HostId::new(0), HostId::new(1)),
+                    )
+                })
+                .collect();
+            alloc.apply(SimTime::ZERO, base.iter().copied(), |_| 1 << 40);
+            let mut swapped = base.clone();
+            let mut tick = 0u64;
+            group.bench_with_input(BenchmarkId::new("allocator_swap_one", n), &n, |b, &n| {
+                b.iter(|| {
+                    // Alternate the last slot between two flow ids: every
+                    // apply sees one entrant, one leaver, n-1 stays.
+                    tick += 1;
+                    swapped[n - 1].0 = FlowId::new((n as u64) + (tick & 1));
+                    alloc.apply(SimTime::ZERO, swapped.iter().copied(), |_| 1 << 40);
+                    alloc.next_completion()
+                })
+            });
+        }
+    }
     group.finish();
 }
 
@@ -545,6 +659,7 @@ criterion_group!(
     bench_champion_index,
     bench_probe_overhead,
     bench_event_loop,
+    bench_delta_reschedule,
     bench_fastforward,
     bench_exact_blowup
 );

@@ -35,8 +35,36 @@ use dcn_workload::FlowArrival;
 /// Entry point of the builder chain: a topology plus a configuration.
 ///
 /// Created by [`FabricSim::new`]; continue with
-/// [`scheduler`](FabricSim::scheduler). See the [module
-/// docs](self) for a complete example.
+/// [`scheduler`](FabricSim::scheduler). The typestate chain only compiles
+/// in assembly order — topology → config → scheduler → workload → probe →
+/// run — so a simulation can never launch half-assembled.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::Srpt;
+/// use dcn_fabric::{FabricSim, FatTree, SimConfig};
+/// use dcn_types::SimTime;
+/// use dcn_workload::TrafficSpec;
+///
+/// let topo = FatTree::scaled(2, 4, 1)?; // 8 hosts, 1 core
+/// let spec = TrafficSpec::scaled(2, 4, 0.5)?;
+/// let run = FabricSim::new(&topo)
+///     .config(SimConfig::builder().horizon(SimTime::from_secs(0.05)).build())
+///     .scheduler(&mut Srpt::new())
+///     .workload(spec.generator(7)?)
+///     .run()?;
+/// assert!(run.completions > 0);
+/// assert_eq!(
+///     run.arrived_bytes,
+///     run.throughput.delivered() + run.leftover_bytes,
+///     "bytes are conserved",
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// To watch the event stream, attach an observer with
+/// [`probe`](FabricSimReady::probe) before running.
 #[must_use = "chain .scheduler(..).workload(..).run() to simulate"]
 #[derive(Debug)]
 pub struct FabricSim<'t> {

@@ -11,11 +11,18 @@
 //!   scheduled set against the current one and pushes heap entries only
 //!   for flows whose completion instant actually changed — a flow that
 //!   stays scheduled across a reschedule keeps its entry untouched;
+//! * [`update`](CompletionCalendar::update) and
+//!   [`remove`](CompletionCalendar::remove) are the *targeted* edits the
+//!   delta engine (see [`crate::DeltaAllocator`]) uses instead: they touch
+//!   one flow in `O(log n)` and leave every other entry alone, so a
+//!   reschedule that changes `Δ` flows costs `O(Δ log n)` — not the
+//!   `O(n)` live-map rebuild `set_schedule` pays even when nothing
+//!   changed;
 //! * superseded and descheduled entries are **not** removed from the heap;
-//!   they are invalidated lazily: [`next_completion`]
-//!   (CompletionCalendar::next_completion) pops stale tops (entries whose
-//!   `(flow, instant)` no longer matches the live map) until a live entry
-//!   — or an empty heap — remains.
+//!   they are invalidated lazily:
+//!   [`next_completion`](CompletionCalendar::next_completion) pops stale
+//!   tops (entries whose `(flow, instant)` no longer matches the live map)
+//!   until a live entry — or an empty heap — remains.
 //!
 //! Every heap entry is pushed once and popped at most once, so the
 //! amortized cost per schedule change is `O(log n)` and a wakeup between
@@ -103,6 +110,43 @@ impl CompletionCalendar {
             next.insert(flow, at);
         }
         self.live = next;
+    }
+
+    /// Schedules `flow` to complete at `at`, or moves its completion
+    /// instant if it is already scheduled — the targeted single-flow edit
+    /// of the delta path. Re-asserting the current instant is free (no
+    /// heap growth); a changed or new instant pushes exactly one heap
+    /// entry, `O(log n)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dcn_fabric::CompletionCalendar;
+    /// use dcn_types::{FlowId, SimTime};
+    ///
+    /// let mut cal = CompletionCalendar::new();
+    /// cal.update(FlowId::new(1), SimTime::from_millis(3.0));
+    /// cal.update(FlowId::new(2), SimTime::from_millis(1.0));
+    /// assert_eq!(cal.next_completion(), SimTime::from_millis(1.0));
+    ///
+    /// // Flow 2 completes and leaves; flow 1 is untouched.
+    /// cal.remove(FlowId::new(2));
+    /// assert_eq!(cal.next_completion(), SimTime::from_millis(3.0));
+    /// ```
+    pub fn update(&mut self, flow: FlowId, at: SimTime) {
+        if self.live.get(&flow) != Some(&at) {
+            self.heap.push(Reverse((at, flow)));
+            self.live.insert(flow, at);
+        }
+    }
+
+    /// Deschedules `flow` (a completion or a preemption): its heap entry
+    /// goes stale and is skipped lazily by
+    /// [`next_completion`](CompletionCalendar::next_completion). Removing
+    /// a flow that is not scheduled is a no-op. `O(1)` now, `O(log n)`
+    /// amortized for the eventual stale pop.
+    pub fn remove(&mut self, flow: FlowId) {
+        self.live.remove(&flow);
     }
 
     /// The earliest live completion instant, or [`SimTime::INFINITY`] when
@@ -201,6 +245,59 @@ mod tests {
         cal.set_schedule([(f(1), ms(1.0)), (f(1), ms(5.0))]);
         assert_eq!(cal.len(), 1);
         assert_eq!(cal.next_completion(), ms(5.0));
+    }
+
+    #[test]
+    fn targeted_update_and_remove_track_the_live_set() {
+        let mut cal = CompletionCalendar::new();
+        cal.update(f(1), ms(5.0));
+        cal.update(f(2), ms(2.0));
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.next_completion(), ms(2.0));
+        // Moving a flow's instant supersedes the old entry lazily.
+        cal.update(f(2), ms(9.0));
+        assert_eq!(cal.next_completion(), ms(5.0));
+        cal.remove(f(1));
+        assert_eq!(cal.next_completion(), ms(9.0));
+        cal.remove(f(2));
+        assert!(cal.is_empty());
+        assert_eq!(cal.next_completion(), SimTime::INFINITY);
+    }
+
+    #[test]
+    fn targeted_noop_update_is_free() {
+        let mut cal = CompletionCalendar::new();
+        cal.update(f(1), ms(4.0));
+        let before = cal.heap_len();
+        for _ in 0..100 {
+            cal.update(f(1), ms(4.0));
+        }
+        assert_eq!(cal.heap_len(), before, "re-asserted instants push nothing");
+    }
+
+    #[test]
+    fn remove_of_unknown_flow_is_a_noop() {
+        let mut cal = CompletionCalendar::new();
+        cal.update(f(1), ms(1.0));
+        cal.remove(f(99));
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.next_completion(), ms(1.0));
+    }
+
+    #[test]
+    fn targeted_edits_and_bulk_reschedules_compose() {
+        // A set_schedule after targeted edits (and vice versa) keeps the
+        // live map exact — the two APIs share one invalidation discipline.
+        let mut cal = CompletionCalendar::new();
+        cal.set_schedule([(f(1), ms(5.0)), (f(2), ms(2.0))]);
+        cal.update(f(3), ms(1.0));
+        assert_eq!(cal.next_completion(), ms(1.0));
+        cal.remove(f(3));
+        cal.set_schedule([(f(1), ms(5.0))]);
+        assert_eq!(cal.next_completion(), ms(5.0));
+        cal.update(f(1), ms(6.0));
+        assert_eq!(cal.next_completion(), ms(6.0));
+        assert_eq!(cal.len(), 1);
     }
 
     #[test]

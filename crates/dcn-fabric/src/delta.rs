@@ -1,0 +1,599 @@
+//! Delta-rate rescheduling: per-event work proportional to the flows
+//! whose allocated rate actually changed, not to every scheduled flow.
+//!
+//! On every arrival and completion the paper's update rule recomputes the
+//! crossbar matching from scratch. The *schedule* must be recomputed — the
+//! discipline's ranking is global — but the *rate allocation* it implies
+//! usually barely moves: in steady state a reschedule keeps almost every
+//! previously selected flow transmitting at the same (line) rate, and only
+//! the flows sharing a bottleneck port with the triggering arrival or
+//! completion — the affected frontier — enter or leave the transmitting
+//! set. The seed engine nevertheless paid `O(n)` per event to re-bind the
+//! whole allocation: it rebuilt the carry-over map of drain epochs, the
+//! scheduled-entry vector, *and* the completion calendar's live map on
+//! every decision (`calendar_reschedule_unchanged` in
+//! `results/bench.json`: 1.9 µs at 64 scheduled flows, 122 µs at 4096 —
+//! linear in `n` even when nothing changed).
+//!
+//! [`DeltaAllocator`] is the persistent replacement. It keeps the
+//! allocation state alive across events:
+//!
+//! * the **priority-order entry vector** — every scheduled flow's exact
+//!   byte account (drain epoch, settled bytes, completion instant; see
+//!   `ScheduledEntry` in `engine.rs`), contiguous and in schedule order,
+//!   so drains settle as a straight cache-friendly scan in exactly the
+//!   order the reference engine emits them;
+//! * a **flow index** `flow → (position, generation)` — membership and
+//!   stay-detection only, never touched while settling;
+//! * the indexed [`CompletionCalendar`], edited **only** through its
+//!   targeted [`update`](CompletionCalendar::update) /
+//!   [`remove`](CompletionCalendar::remove) API.
+//!
+//! [`apply`](DeltaAllocator::apply) takes the freshly computed matching
+//! and computes the allocation delta with a generation sweep: flows
+//! already live are re-stamped and their account copied to its new
+//! priority position (epoch, byte account, and calendar entry survive —
+//! one hash probe and a few dozen bytes of memcpy per kept flow, zero
+//! calendar or heap churn); flows entering open a fresh drain epoch and
+//! push one calendar entry; flows of the previous schedule whose stamp is
+//! stale have left and are evicted from the index and calendar. The cost
+//! is `O(|schedule|)` stamps plus `O(Δ log n)` calendar edits — and the
+//! calendar work is what used to be the linear term, so per-event
+//! reschedule cost is flat in the total flow count (the
+//! `delta_reschedule` bench group pins this).
+//!
+//! The change-log cursors and champion index of `basrpt-core` (PR 5) play
+//! the same role one layer down: they make the *decision* incremental,
+//! while this module makes the *binding* of the decision incremental. Run
+//! an [`IncrementalScheduler`](basrpt_core::IncrementalScheduler) inside
+//! the delta engine and every layer of the per-event path is
+//! `O(affected)`; `PERFMODEL.md` has the full cost model.
+//!
+//! The full-recompute binding survives as [`crate::reference`] and the
+//! differential suites (`tests/delta_differential.rs`,
+//! `tests/calendar_differential.rs`) pin both engines bit-identical.
+
+use crate::calendar::CompletionCalendar;
+use crate::engine::ScheduledEntry;
+use crate::FatTree;
+use dcn_types::{FlowId, Rate, SimTime, Voq};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// The allocation delta of one [`DeltaAllocator::apply`] call: how many
+/// flows entered, left, and kept their rate across the reschedule.
+///
+/// `entered + kept` is the size of the new schedule; `left` counts flows
+/// of the previous schedule that lost their ports (completed flows are
+/// accounted by [`DeltaAllocator::settle`], not here). Only `entered` and
+/// `left` — the affected frontier — cost calendar work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaOutcome {
+    /// Flows newly admitted into the transmitting set (fresh drain epoch,
+    /// one calendar push each).
+    pub entered: u64,
+    /// Flows of the previous schedule that lost their ports (calendar
+    /// eviction each).
+    pub left: u64,
+    /// Flows that stayed scheduled: epoch, byte account, and calendar
+    /// entry all untouched.
+    pub kept: u64,
+}
+
+/// Cumulative [`DeltaOutcome`] totals across a run, plus the reschedule
+/// count — the observability hook proving the delta property end-to-end
+/// (`kept` should dwarf `entered + left` in steady state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Number of [`DeltaAllocator::apply`] calls.
+    pub reschedules: u64,
+    /// Total flows that entered the transmitting set.
+    pub entered: u64,
+    /// Total flows evicted by a reschedule (not by completing).
+    pub left: u64,
+    /// Total stay-scheduled decisions (zero-cost per flow).
+    pub kept: u64,
+}
+
+/// Index record of one live scheduled flow: where its entry sits in the
+/// priority-order vector plus the generation stamp of the last schedule
+/// that selected it. The byte account itself lives in
+/// `DeltaAllocator::order` so settling is a contiguous scan, not a hash
+/// walk.
+#[derive(Debug, Clone, Copy)]
+struct LiveSlot {
+    pos: usize,
+    gen: u64,
+}
+
+/// Persistent, incrementally maintained binding of schedules to drain
+/// state and completion instants — the delta-rate rescheduling engine.
+///
+/// Feed it the matching produced by any `Scheduler` after every event
+/// ([`apply`](DeltaAllocator::apply)); between events it answers "when
+/// does the next scheduled flow complete?" in `O(1)`
+/// ([`next_completion`](DeltaAllocator::next_completion)) and settles
+/// exact byte drains in schedule-priority order
+/// ([`settle`](DeltaAllocator::settle)). Flows that stay scheduled across
+/// an `apply` cost nothing; only the allocation delta touches the
+/// calendar. The production [`simulate`](crate::simulate) event loop is a
+/// thin driver around this type.
+///
+/// # Example
+///
+/// ```
+/// use dcn_fabric::DeltaAllocator;
+/// use dcn_types::{FlowId, HostId, Rate, SimTime, Voq};
+///
+/// let voq = |s, d| Voq::new(HostId::new(s), HostId::new(d));
+/// let mut alloc = DeltaAllocator::new(Rate::from_gbps(10.0));
+///
+/// // Two flows admitted at t = 0: 1.25 MB completes after exactly 1 ms.
+/// let delta = alloc.apply(
+///     SimTime::ZERO,
+///     [(FlowId::new(1), voq(0, 1)), (FlowId::new(2), voq(2, 3))],
+///     |id| if id == FlowId::new(1) { 1_250_000 } else { 5_000_000 },
+/// );
+/// assert_eq!((delta.entered, delta.left, delta.kept), (2, 0, 0));
+/// assert_eq!(alloc.next_completion(), SimTime::from_millis(1.0));
+///
+/// // Re-applying the same matching is free: nothing enters or leaves,
+/// // drain epochs and calendar entries survive untouched.
+/// let delta = alloc.apply(
+///     SimTime::ZERO,
+///     [(FlowId::new(1), voq(0, 1)), (FlowId::new(2), voq(2, 3))],
+///     |_| unreachable!("no flow entered, so no remaining size is read"),
+/// );
+/// assert_eq!((delta.entered, delta.left, delta.kept), (0, 0, 2));
+///
+/// // Settle the first completion: flow 1 drains its 1.25 MB and is gone.
+/// let mut drained = Vec::new();
+/// let completed = alloc.settle(SimTime::from_millis(1.0), |d| {
+///     drained.push((d.flow, d.amount, d.completed));
+/// });
+/// assert!(completed);
+/// assert_eq!(drained[0], (FlowId::new(1), 1_250_000, true));
+/// assert_eq!(alloc.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DeltaAllocator {
+    rate: Rate,
+    calendar: CompletionCalendar,
+    /// `flow → (position in order, generation)` — membership and
+    /// stay-detection only; the drain accounts live in `order`.
+    index: HashMap<FlowId, LiveSlot>,
+    /// The scheduled flows' drain accounts, contiguous, in
+    /// schedule-priority order — settling walks this vector exactly like
+    /// the reference engine walks its per-event entry vector. Between a
+    /// completing [`settle`](DeltaAllocator::settle) and the reschedule
+    /// that always follows it, completed flows linger as zero-owed
+    /// tombstones (absent from `index` and the calendar) so live
+    /// positions never shift outside [`apply`](DeltaAllocator::apply).
+    order: Vec<ScheduledEntry>,
+    /// Previous `order`, double-buffered for the generation sweep.
+    scratch: Vec<ScheduledEntry>,
+    /// Per-`scratch`-position "still selected" marks, so the sweep only
+    /// hash-probes the positions the new schedule did *not* re-claim
+    /// (leavers and completion tombstones — the delta, not the whole
+    /// schedule).
+    taken: Vec<bool>,
+    gen: u64,
+    stats: DeltaStats,
+}
+
+/// One settled drain reported by [`DeltaAllocator::settle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SettledDrain {
+    /// The draining flow.
+    pub flow: FlowId,
+    /// The VOQ it occupies.
+    pub voq: Voq,
+    /// Bytes newly owed since the last settlement (> 0).
+    pub amount: u64,
+    /// Whether this drain exhausts the flow's remaining bytes; the flow is
+    /// already evicted from the allocator when the callback runs.
+    pub completed: bool,
+}
+
+impl DeltaAllocator {
+    /// An empty allocator whose scheduled flows drain at `rate` (the edge
+    /// line rate under the one-big-switch abstraction).
+    pub fn new(rate: Rate) -> Self {
+        DeltaAllocator {
+            rate,
+            calendar: CompletionCalendar::new(),
+            index: HashMap::new(),
+            order: Vec::new(),
+            scratch: Vec::new(),
+            taken: Vec::new(),
+            gen: 0,
+            stats: DeltaStats::default(),
+        }
+    }
+
+    /// Number of currently scheduled flows.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no flow is currently scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Cumulative delta statistics since construction.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// The earliest completion instant among scheduled flows, or
+    /// [`SimTime::INFINITY`] when none is scheduled. Amortized `O(1)`.
+    pub fn next_completion(&mut self) -> SimTime {
+        self.calendar.next_completion()
+    }
+
+    /// Rebinds the allocator to a new schedule, computed at instant `now`,
+    /// and returns the allocation delta.
+    ///
+    /// `selected` is the matching in priority order; each flow must appear
+    /// at most once (a [`basrpt_core::Schedule`] guarantees this). Flows
+    /// already scheduled keep their drain epoch and calendar entry
+    /// untouched; flows entering open a fresh epoch at `now` over
+    /// `remaining(flow)` bytes (read lazily, only for entrants); flows of
+    /// the previous schedule not re-selected are evicted. Cost:
+    /// `O(|selected|)` generation stamps plus `O(Δ log n)` calendar edits.
+    pub fn apply<I>(
+        &mut self,
+        now: SimTime,
+        selected: I,
+        mut remaining: impl FnMut(FlowId) -> u64,
+    ) -> DeltaOutcome
+    where
+        I: IntoIterator<Item = (FlowId, Voq)>,
+    {
+        self.gen += 1;
+        let gen = self.gen;
+        std::mem::swap(&mut self.order, &mut self.scratch);
+        self.order.clear();
+        self.taken.clear();
+        self.taken.resize(self.scratch.len(), false);
+        let mut out = DeltaOutcome::default();
+        for (id, voq) in selected {
+            match self.index.entry(id) {
+                Entry::Occupied(mut slot) => {
+                    // A flow that stays scheduled keeps its drain epoch
+                    // (its completion instant is unchanged): its account
+                    // is copied over to the new priority position, with
+                    // no calendar work and no account reset — the whole
+                    // point. Positions into `scratch` are exact because
+                    // `settle` never shifts the vector.
+                    let s = slot.get_mut();
+                    debug_assert_ne!(s.gen, gen, "a flow may appear at most once per schedule");
+                    let entry = self.scratch[s.pos];
+                    debug_assert_eq!(entry.flow, id, "index position is stale");
+                    self.taken[s.pos] = true;
+                    s.pos = self.order.len();
+                    s.gen = gen;
+                    self.order.push(entry);
+                    out.kept += 1;
+                }
+                Entry::Vacant(slot) => {
+                    let entry = ScheduledEntry::new(id, voq, now, remaining(id), self.rate);
+                    self.calendar.update(id, entry.completes_at);
+                    slot.insert(LiveSlot {
+                        pos: self.order.len(),
+                        gen,
+                    });
+                    self.order.push(entry);
+                    out.entered += 1;
+                }
+            }
+        }
+        // Sweep the *previous* order for positions the new schedule did
+        // not re-claim: flows still indexed there have left and are
+        // evicted; completed flows were already evicted by `settle` and
+        // their tombstones fail the lookup. Only this delta is hashed —
+        // kept flows were marked taken above.
+        for i in 0..self.scratch.len() {
+            if self.taken[i] {
+                continue;
+            }
+            let id = self.scratch[i].flow;
+            if self.index.remove(&id).is_some() {
+                self.calendar.remove(id);
+                out.left += 1;
+            }
+        }
+        self.stats.reschedules += 1;
+        self.stats.entered += out.entered;
+        self.stats.left += out.left;
+        self.stats.kept += out.kept;
+        out
+    }
+
+    /// Settles every scheduled flow's byte account at instant `t`,
+    /// invoking `on_drain` once per flow that owes bytes — in schedule
+    /// priority order, exactly as the reference engine emits drains.
+    /// Completing flows are evicted from the allocator (and calendar)
+    /// before their callback runs. Returns whether any flow completed.
+    pub fn settle(&mut self, t: SimTime, mut on_drain: impl FnMut(SettledDrain)) -> bool {
+        let mut completed_any = false;
+        // A contiguous scan with zero hashing — the same cache behavior as
+        // the reference engine's per-event entry vector. Tombstones of
+        // earlier completions owe nothing and fall through the `amount == 0`
+        // skip.
+        for entry in &mut self.order {
+            let target = entry.target_at(t, self.rate);
+            let amount = target - entry.settled;
+            if amount == 0 {
+                continue;
+            }
+            entry.settled = target;
+            let completed = entry.settled == entry.epoch_remaining;
+            if completed {
+                // Evict from the index and calendar now (so the next
+                // `next_completion` moves past this instant), but leave
+                // the entry in place as a tombstone: the reschedule every
+                // completion triggers sweeps it, and live positions stay
+                // exact in the meantime.
+                completed_any = true;
+                self.index.remove(&entry.flow);
+                self.calendar.remove(entry.flow);
+            }
+            on_drain(SettledDrain {
+                flow: entry.flow,
+                voq: entry.voq,
+                amount,
+                completed,
+            });
+        }
+        completed_any
+    }
+
+    /// Consistency check: the calendar's live set mirrors the allocator's
+    /// index exactly (same flows, same instants), and every indexed
+    /// position points at its own flow's entry in the priority-order
+    /// vector. Linear; intended for tests.
+    pub fn check_consistent(&mut self) -> Result<(), String> {
+        if self.order.len() < self.index.len() {
+            return Err(format!(
+                "{} entries in priority order but {} live",
+                self.order.len(),
+                self.index.len()
+            ));
+        }
+        if self.calendar.len() != self.index.len() {
+            return Err(format!(
+                "{} calendar entries but {} live flows",
+                self.calendar.len(),
+                self.index.len()
+            ));
+        }
+        let mut want = SimTime::INFINITY;
+        for (id, slot) in &self.index {
+            match self.order.get(slot.pos) {
+                None => {
+                    return Err(format!(
+                        "flow {id} indexes position {} out of bounds",
+                        slot.pos
+                    ))
+                }
+                Some(entry) if entry.flow != *id => {
+                    return Err(format!(
+                        "flow {id} indexes position {} held by flow {}",
+                        slot.pos, entry.flow
+                    ))
+                }
+                Some(entry) => want = want.min(entry.completes_at),
+            }
+        }
+        if self.calendar.next_completion() != want {
+            return Err(format!(
+                "calendar answers {:?}, live minimum is {want:?}",
+                self.calendar.next_completion()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Persistent scratch state for the oversubscribed-core admission filter:
+/// per-rack uplink/downlink budget accumulators and the filtered output,
+/// reused across events so the hot path never allocates. Semantically
+/// identical to filtering a schedule (in priority order) down to the flows
+/// the core layer can carry: intra-rack flows always pass; inter-rack
+/// flows consume `edge_rate` of their source rack's uplink and destination
+/// rack's downlink budgets and are skipped once a budget is exhausted.
+#[derive(Debug, Default)]
+pub(crate) struct CoreBudgets {
+    up_used: Vec<f64>,
+    down_used: Vec<f64>,
+    out: Vec<(FlowId, Voq)>,
+}
+
+impl CoreBudgets {
+    /// Filters `selected` under `topo`'s per-rack capacity, returning the
+    /// admitted sub-sequence in the original priority order.
+    pub(crate) fn filter(
+        &mut self,
+        topo: &FatTree,
+        selected: impl Iterator<Item = (FlowId, Voq)>,
+    ) -> &[(FlowId, Voq)] {
+        let edge = topo.edge_rate().bytes_per_sec();
+        let uplink = topo.rack_uplink_capacity().bytes_per_sec();
+        self.up_used.clear();
+        self.up_used.resize(topo.num_racks() as usize, 0.0);
+        self.down_used.clear();
+        self.down_used.resize(topo.num_racks() as usize, 0.0);
+        self.out.clear();
+        for (id, voq) in selected {
+            if topo.is_intra_rack(voq) {
+                self.out.push((id, voq));
+                continue;
+            }
+            let src_rack = topo.rack_of(voq.src()).as_usize();
+            let dst_rack = topo.rack_of(voq.dst()).as_usize();
+            // Tolerance absorbs f64 accumulation when the budget divides
+            // evenly — identical to the reference filter.
+            if self.up_used[src_rack] + edge <= uplink * (1.0 + 1e-9)
+                && self.down_used[dst_rack] + edge <= uplink * (1.0 + 1e-9)
+            {
+                self.up_used[src_rack] += edge;
+                self.down_used[dst_rack] += edge;
+                self.out.push((id, voq));
+            }
+        }
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_types::HostId;
+
+    fn f(id: u64) -> FlowId {
+        FlowId::new(id)
+    }
+
+    fn voq(s: u32, d: u32) -> Voq {
+        Voq::new(HostId::new(s), HostId::new(d))
+    }
+
+    fn gbps10() -> Rate {
+        Rate::from_gbps(10.0)
+    }
+
+    #[test]
+    fn entrants_open_epochs_and_leavers_are_evicted() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        let d = alloc.apply(
+            SimTime::ZERO,
+            [(f(1), voq(0, 1)), (f(2), voq(2, 3))],
+            |_| 1_250_000,
+        );
+        assert_eq!((d.entered, d.left, d.kept), (2, 0, 0));
+        alloc.check_consistent().unwrap();
+
+        // Flow 2 is preempted by flow 3; flow 1 stays.
+        let d = alloc.apply(
+            SimTime::from_micros(10.0),
+            [(f(1), voq(0, 1)), (f(3), voq(2, 4))],
+            |id| {
+                assert_eq!(id, f(3), "remaining read only for entrants");
+                2_500_000
+            },
+        );
+        assert_eq!((d.entered, d.left, d.kept), (1, 1, 1));
+        assert_eq!(alloc.len(), 2);
+        alloc.check_consistent().unwrap();
+        // Flow 1's epoch survived: it still completes at its original
+        // 1 ms instant, not 1 ms after the second apply.
+        assert_eq!(alloc.next_completion(), SimTime::from_millis(1.0));
+    }
+
+    #[test]
+    fn stays_cost_no_calendar_work() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        let sched = [(f(1), voq(0, 1)), (f(2), voq(2, 3))];
+        alloc.apply(SimTime::ZERO, sched, |_| 10_000_000);
+        let stats_before = alloc.stats();
+        for _ in 0..50 {
+            let d = alloc.apply(SimTime::ZERO, sched, |_| unreachable!());
+            assert_eq!((d.entered, d.left, d.kept), (0, 0, 2));
+        }
+        let stats = alloc.stats();
+        assert_eq!(stats.entered, stats_before.entered);
+        assert_eq!(stats.left, stats_before.left);
+        assert_eq!(stats.reschedules, stats_before.reschedules + 50);
+        alloc.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn settle_reports_exact_drains_in_priority_order() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        // 1250 bytes = 1 µs at 10 Gbps; flow 2 is 10× longer.
+        alloc.apply(
+            SimTime::ZERO,
+            [(f(2), voq(2, 3)), (f(1), voq(0, 1))],
+            |id| {
+                if id == f(1) {
+                    1_250
+                } else {
+                    12_500
+                }
+            },
+        );
+        let mut seen = Vec::new();
+        let completed = alloc.settle(SimTime::from_micros(1.0), |d| seen.push(d));
+        assert!(completed);
+        // Priority order preserved: flow 2 (listed first) settles first.
+        assert_eq!(seen[0].flow, f(2));
+        assert_eq!(seen[0].amount, 1_250);
+        assert!(!seen[0].completed);
+        assert_eq!(seen[1].flow, f(1));
+        assert_eq!(seen[1].amount, 1_250);
+        assert!(seen[1].completed);
+        assert_eq!(alloc.len(), 1);
+        alloc.check_consistent().unwrap();
+
+        // Nothing more is owed at the same instant.
+        let completed = alloc.settle(SimTime::from_micros(1.0), |_| panic!("no bytes owed"));
+        assert!(!completed);
+    }
+
+    #[test]
+    fn returning_flow_opens_a_fresh_epoch() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        alloc.apply(SimTime::ZERO, [(f(1), voq(0, 1))], |_| 12_500_000); // 10 ms
+        alloc.settle(SimTime::from_millis(1.0), |_| {});
+        // Preempted at 1 ms with 9 ms of bytes left…
+        let d = alloc.apply(SimTime::from_millis(1.0), [(f(2), voq(0, 2))], |_| 1_250);
+        assert_eq!((d.entered, d.left), (1, 1));
+        // …and re-admitted at 2 ms: completion is 2 ms + 9 ms, a fresh
+        // epoch over the *current* remaining bytes.
+        let d = alloc.apply(SimTime::from_millis(2.0), [(f(1), voq(0, 1))], |id| {
+            assert_eq!(id, f(1));
+            11_250_000
+        });
+        assert_eq!((d.entered, d.left), (1, 1));
+        assert_eq!(alloc.next_completion(), SimTime::from_millis(11.0));
+        alloc.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn empty_apply_evicts_everything() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        alloc.apply(
+            SimTime::ZERO,
+            [(f(1), voq(0, 1)), (f(2), voq(2, 3))],
+            |_| 1_000,
+        );
+        let d = alloc.apply(SimTime::ZERO, [], |_| unreachable!());
+        assert_eq!((d.entered, d.left, d.kept), (0, 2, 0));
+        assert!(alloc.is_empty());
+        assert_eq!(alloc.next_completion(), SimTime::INFINITY);
+        alloc.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn core_budgets_match_the_reference_filter() {
+        // 2 racks × 8 hosts, 1 core: at most 4 inter-rack flows per rack
+        // direction (40 Gbps uplink / 10 Gbps edge).
+        let topo = FatTree::scaled(2, 8, 1).unwrap();
+        assert!(!topo.is_full_bisection());
+        let selected: Vec<(FlowId, Voq)> = (0..8)
+            .map(|i| (f(i), voq(i as u32, 8 + i as u32)))
+            .collect();
+        let mut budgets = CoreBudgets::default();
+        let got = budgets.filter(&topo, selected.iter().copied()).to_vec();
+        assert_eq!(got.len(), 4, "one 40 Gbps uplink carries 4 edge flows");
+        assert_eq!(&got[..], &selected[..4], "priority order preserved");
+        // Intra-rack flows pass even with the core budget exhausted.
+        let mut with_local = selected.clone();
+        with_local.push((f(99), voq(0, 1)));
+        let got = budgets.filter(&topo, with_local.iter().copied()).to_vec();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[4], (f(99), voq(0, 1)));
+    }
+}

@@ -37,15 +37,17 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod builder;
 mod calendar;
+mod delta;
 mod engine;
 pub mod reference;
 mod topology;
 
 pub use builder::{FabricSim, FabricSimReady, FabricSimSched};
 pub use calendar::CompletionCalendar;
+pub use delta::{DeltaAllocator, DeltaOutcome, DeltaStats, SettledDrain};
 pub use engine::{simulate, FabricError, FabricRun, SimConfig, SimConfigBuilder};
 pub use topology::{FatTree, TopologyError};

@@ -1,22 +1,33 @@
-//! The reference event loop, kept for differential testing.
+//! The reference event loops, kept for differential testing.
 //!
-//! The production engine ([`crate::simulate`]) finds the next completion
-//! instant through the indexed [`CompletionCalendar`](crate::CompletionCalendar);
-//! this module runs the *same* event loop with the seed engine's strategy —
-//! a linear rescan of every scheduled flow on every wakeup. Both paths
-//! share the exact epoch-based drain accounting, so their outputs must be
-//! **bit-identical**: any divergence is a calendar bug, not a modelling
-//! difference. `tests/calendar_differential.rs` pins that equivalence
-//! across seeds and disciplines, the same technique PR 1 used to pin the
-//! incremental scheduler against the from-scratch one.
+//! The production engine ([`crate::simulate`]) is the **delta-rate**
+//! engine: it keeps a persistent [`DeltaAllocator`](crate::DeltaAllocator)
+//! across events and pays calendar work only for the flows whose rate
+//! allocation actually changed. This module retains the two earlier
+//! engines it replaced:
 //!
-//! The rescan costs `O(n)` per wakeup in the number of concurrently
-//! scheduled flows (the `event_loop` bench group in `sched_overhead`
-//! measures the gap), so this path is for tests and benches — production
-//! callers should use [`crate::simulate`] or the
-//! [`FabricSim`](crate::FabricSim) builder.
+//! * [`simulate_scan`] — the seed engine's strategy: a linear rescan of
+//!   every scheduled flow on every wakeup, `O(n)` per event;
+//! * [`simulate_full_rebuild`] — the PR 3–5 production engine: the indexed
+//!   [`CompletionCalendar`](crate::CompletionCalendar) for next-event
+//!   lookup, but with the full allocation state (carry-over map, entry
+//!   vector, calendar live map) rebuilt on every reschedule, also `O(n)`
+//!   per event with a higher constant.
+//!
+//! All three paths share the exact epoch-based drain accounting and the
+//! same event ordering within an instant, so their outputs must be
+//! **bit-identical**: any divergence is an engine bug, not a modelling
+//! difference. `tests/calendar_differential.rs` pins full-rebuild against
+//! scan, and `tests/delta_differential.rs` pins the delta engine against
+//! both, across seeds × disciplines — the same technique PR 1 used to pin
+//! the incremental scheduler against the from-scratch one.
+//!
+//! Per-event costs are measured in the `event_loop` and `delta_reschedule`
+//! bench groups of `sched_overhead` and modelled in `PERFMODEL.md`; these
+//! paths are for tests and benches — production callers should use
+//! [`crate::simulate`] or the [`FabricSim`](crate::FabricSim) builder.
 
-use crate::engine::run_scan_with_probe;
+use crate::engine::{run_rebuild_with_probe, run_scan_with_probe};
 use crate::{FabricError, FabricRun, FatTree, SimConfig};
 use basrpt_core::Scheduler;
 use dcn_probe::{NoProbe, Probe};
@@ -56,4 +67,42 @@ pub fn simulate_scan_probed<S: Scheduler + ?Sized, P: Probe>(
     probe: P,
 ) -> Result<FabricRun, FabricError> {
     run_scan_with_probe(topo, scheduler, generator, config, probe)
+}
+
+/// Runs one simulation with the full-recompute calendar engine: indexed
+/// next-completion lookup, but the allocation state is rebuilt from
+/// scratch on every reschedule.
+///
+/// Identical semantics to [`crate::simulate`] — same inputs, same exact
+/// accounting, bit-identical outputs — differing only in how much state
+/// survives between events.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_full_rebuild<S: Scheduler + ?Sized>(
+    topo: &FatTree,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+) -> Result<FabricRun, FabricError> {
+    run_rebuild_with_probe(topo, scheduler, generator, config, NoProbe)
+}
+
+/// Probe-instrumented variant of [`simulate_full_rebuild`], for
+/// differential tests that compare full event streams.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_full_rebuild_probed<S: Scheduler + ?Sized, P: Probe>(
+    topo: &FatTree,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+) -> Result<FabricRun, FabricError> {
+    run_rebuild_with_probe(topo, scheduler, generator, config, probe)
 }

@@ -125,6 +125,98 @@ proptest! {
     }
 }
 
+/// Every targeted-edit operation the delta engine performs, as a proptest
+/// value.
+#[derive(Debug, Clone, Copy)]
+enum DeltaOp {
+    /// `CompletionCalendar::update` — schedule or move one flow.
+    Update(u64, u64),
+    /// `CompletionCalendar::remove` — deschedule one flow.
+    Remove(u64),
+    /// `CompletionCalendar::next_completion` — pop through stale garbage.
+    Query,
+    /// `CompletionCalendar::set_schedule` of the current live set — the
+    /// bulk API interleaved mid-stream (the two APIs must compose).
+    BulkReassert,
+}
+
+fn delta_op() -> impl Strategy<Value = DeltaOp> {
+    prop_oneof![
+        4 => (0u64..6, 0u64..300).prop_map(|(id, t)| DeltaOp::Update(id, t)),
+        2 => (0u64..6).prop_map(DeltaOp::Remove),
+        2 => Just(DeltaOp::Query),
+        1 => Just(DeltaOp::BulkReassert),
+    ]
+}
+
+proptest! {
+    /// Adversarial interleaving of targeted updates, removes, pops, and
+    /// bulk reasserts: after **every** operation the incrementally edited
+    /// calendar agrees with a calendar freshly built from the model — same
+    /// minimum, same live count, and popping both to exhaustion yields the
+    /// same instant sequence (heap-order agreement, not just the top).
+    #[test]
+    fn targeted_edits_agree_with_a_freshly_built_calendar(
+        ops in prop::collection::vec(delta_op(), 1..120)
+    ) {
+        let mut cal = CompletionCalendar::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (step, &op) in ops.iter().enumerate() {
+            match op {
+                DeltaOp::Update(id, t) => {
+                    cal.update(f(id), at(t));
+                    model.insert(id, t);
+                }
+                DeltaOp::Remove(id) => {
+                    cal.remove(f(id));
+                    model.remove(&id);
+                }
+                DeltaOp::Query => {
+                    // Exercised below for every step; a standalone query
+                    // also forces stale-top pops *between* edits.
+                    let _ = cal.next_completion();
+                }
+                DeltaOp::BulkReassert => {
+                    let live: Vec<(u64, u64)> =
+                        model.iter().map(|(&id, &t)| (id, t)).collect();
+                    cal.set_schedule(live.iter().map(|&(id, t)| (f(id), at(t))));
+                }
+            }
+            let mut fresh = CompletionCalendar::new();
+            fresh.set_schedule(model.iter().map(|(&id, &t)| (f(id), at(t))));
+            prop_assert_eq!(cal.len(), fresh.len(), "step {}: live count", step);
+            prop_assert_eq!(
+                cal.next_completion(),
+                fresh.next_completion(),
+                "step {}: minimum instant",
+                step
+            );
+            prop_assert!(
+                cal.heap_len() >= cal.len(),
+                "step {}: heap cannot undercount the live set",
+                step
+            );
+        }
+        // Drain both calendars to exhaustion in completion order: the
+        // edited calendar must yield the identical instant sequence.
+        let mut fresh = CompletionCalendar::new();
+        fresh.set_schedule(model.iter().map(|(&id, &t)| (f(id), at(t))));
+        while !model.is_empty() {
+            let want = fresh.next_completion();
+            prop_assert_eq!(cal.next_completion(), want, "drain: minimum");
+            let (&id, _) = model
+                .iter()
+                .find(|&(_, &t)| at(t) == want)
+                .expect("minimum comes from the model");
+            model.remove(&id);
+            cal.remove(f(id));
+            fresh.remove(f(id));
+        }
+        prop_assert_eq!(cal.next_completion(), SimTime::INFINITY);
+        prop_assert_eq!(cal.heap_len(), 0, "full drain pops all garbage");
+    }
+}
+
 /// Deterministic worst case outside proptest: N reschedules of one flow to
 /// strictly earlier instants each time — every stale entry sorts *behind*
 /// the live one, so `next_completion` keeps O(1) peeks while `heap_len`

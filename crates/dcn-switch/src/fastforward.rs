@@ -3,7 +3,7 @@
 //! Between two state-changing events — an arrival or a flow completion —
 //! the greedy matching computed by any of the disciplines is constant for
 //! a provable number of slots (see [`basrpt_core::validity`]). The
-//! slot-by-slot driver in [`run_probed`](crate::run_probed) nevertheless
+//! slot-by-slot driver in [`run_probed`] nevertheless
 //! re-invokes the scheduler every slot. This module adds a second engine
 //! that reuses the cached schedule across a whole *window* of `k` slots
 //! and advances queue state, service counters, and the backlog/penalty
@@ -94,7 +94,7 @@ pub fn run_with_engine<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized>(
     run_probed_with_engine(engine, num_ports, scheduler, arrivals, config, NoProbe)
 }
 
-/// [`run_probed`](crate::run_probed) with an explicit [`Engine`] choice.
+/// [`run_probed`] with an explicit [`Engine`] choice.
 pub fn run_probed_with_engine<S, A, P>(
     engine: Engine,
     num_ports: u32,
@@ -129,7 +129,7 @@ pub fn run_fastforward<S: Scheduler + ?Sized, A: SlotArrivals + ?Sized>(
 /// Runs a slotted simulation with the macro-slot fast-forward engine.
 ///
 /// Produces a [`SwitchRun`] bit-identical to
-/// [`run_probed`](crate::run_probed) on the same inputs, invoking the
+/// [`run_probed`] on the same inputs, invoking the
 /// scheduler only when the cached schedule can no longer be proven valid.
 /// The only observable difference is the `latency` field of replayed
 /// [`DecisionEvent`]s, which is `None` because no decision was actually

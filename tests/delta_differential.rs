@@ -1,0 +1,213 @@
+//! Differential tests for the delta-rate fabric engine.
+//!
+//! The production engine (`dcn_fabric::simulate`) keeps a persistent
+//! `DeltaAllocator` across events and touches only the flows whose rate
+//! allocation changed; `dcn_fabric::reference` retains both full-recompute
+//! engines it replaced (`simulate_scan`, the seed engine's linear rescan,
+//! and `simulate_full_rebuild`, the PR 3–5 calendar engine that rebuilt
+//! the allocation state per event). All three share the exact epoch-based
+//! drain accounting and per-instant event ordering, so every observable —
+//! event streams, sampled series, FCT summaries, byte conservation — must
+//! match **bit for bit** across seeds × disciplines × core-enforcement
+//! modes. This is the same pin-the-refactor technique PR 1 used for the
+//! incremental scheduler, PR 3 for the calendar, and PR 4 for the
+//! fast-forward switch engine.
+
+use basrpt::core::{FastBasrpt, Scheduler, Srpt};
+use basrpt::fabric::{reference, simulate, FabricRun, FabricSim, FatTree, SimConfig};
+use basrpt::metrics::TimeSeries;
+use basrpt::probe::EventCounterProbe;
+use basrpt::types::{FlowClass, SimTime};
+use basrpt::workload::TrafficSpec;
+
+fn fnv(h: &mut u64, bits: u64) {
+    for b in bits.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn series_hash(h: &mut u64, ts: &TimeSeries) {
+    fnv(h, ts.len() as u64);
+    for (&t, &v) in ts.times().iter().zip(ts.values()) {
+        fnv(h, t.to_bits());
+        fnv(h, v.to_bits());
+    }
+}
+
+fn fingerprint(run: &FabricRun) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    series_hash(&mut h, &run.total_backlog);
+    series_hash(&mut h, &run.monitored_port_backlog);
+    series_hash(&mut h, &run.max_port_backlog);
+    series_hash(&mut h, &run.cumulative_delivered);
+    h
+}
+
+fn assert_bit_identical(delta: &FabricRun, full: &FabricRun, label: &str) {
+    assert_eq!(delta.arrivals, full.arrivals, "{label}: arrivals");
+    assert_eq!(delta.completions, full.completions, "{label}: completions");
+    assert_eq!(delta.reschedules, full.reschedules, "{label}: reschedules");
+    assert_eq!(
+        delta.arrived_bytes, full.arrived_bytes,
+        "{label}: arrived bytes"
+    );
+    assert_eq!(
+        delta.throughput.delivered(),
+        full.throughput.delivered(),
+        "{label}: delivered bytes"
+    );
+    assert_eq!(
+        delta.leftover_bytes, full.leftover_bytes,
+        "{label}: leftover bytes"
+    );
+    assert_eq!(
+        delta.leftover_flows, full.leftover_flows,
+        "{label}: leftover flows"
+    );
+    assert_eq!(
+        fingerprint(delta),
+        fingerprint(full),
+        "{label}: sampled series fingerprint"
+    );
+    let (d, f) = (
+        delta.fct.summary(FlowClass::Background),
+        full.fct.summary(FlowClass::Background),
+    );
+    match (d, f) {
+        (Some(d), Some(f)) => {
+            assert_eq!(d.count, f.count, "{label}: FCT count");
+            assert_eq!(
+                d.mean_secs.to_bits(),
+                f.mean_secs.to_bits(),
+                "{label}: FCT mean must be bit-exact"
+            );
+            assert_eq!(
+                d.p99_secs.to_bits(),
+                f.p99_secs.to_bits(),
+                "{label}: FCT p99 must be bit-exact"
+            );
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one engine recorded FCTs, the other did not"),
+    }
+}
+
+fn config(horizon_secs: f64, enforce_core: bool) -> SimConfig {
+    SimConfig::builder()
+        .horizon(SimTime::from_secs(horizon_secs))
+        .enforce_core_capacity(enforce_core)
+        .build()
+}
+
+type MakeScheduler = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
+fn disciplines() -> Vec<(&'static str, MakeScheduler)> {
+    vec![
+        ("srpt", Box::new(|| Box::new(Srpt::new()))),
+        (
+            "fast_basrpt",
+            Box::new(|| Box::new(FastBasrpt::new(2500.0 * 8.0 / 144.0, 8))),
+        ),
+    ]
+}
+
+/// Seeds 1..=3 × {SRPT, FastBasrpt} × {free, core-enforced}: run summaries,
+/// series fingerprints, and FCT summaries all bit-identical between the
+/// delta engine and **both** full-recompute references.
+#[test]
+fn delta_matches_both_references_across_seeds_and_disciplines() {
+    for (name, make) in &disciplines() {
+        for seed in 1..=3u64 {
+            for enforce in [false, true] {
+                let topo = FatTree::scaled(2, 4, 1).unwrap();
+                let spec = TrafficSpec::scaled(2, 4, 0.9).unwrap();
+                let cfg = config(0.1, enforce);
+                let label = format!("{name}/seed{seed}/enforce={enforce}");
+                let delta =
+                    simulate(&topo, make().as_mut(), spec.generator(seed).unwrap(), cfg).unwrap();
+                let scan = reference::simulate_scan(
+                    &topo,
+                    make().as_mut(),
+                    spec.generator(seed).unwrap(),
+                    cfg,
+                )
+                .unwrap();
+                let rebuild = reference::simulate_full_rebuild(
+                    &topo,
+                    make().as_mut(),
+                    spec.generator(seed).unwrap(),
+                    cfg,
+                )
+                .unwrap();
+                assert_bit_identical(&delta, &scan, &format!("{label} vs scan"));
+                assert_bit_identical(&delta, &rebuild, &format!("{label} vs rebuild"));
+                assert!(delta.completions > 0, "{label}: non-trivial run");
+            }
+        }
+    }
+}
+
+/// An oversubscribed fabric (core budgets binding on every reschedule)
+/// exercises the persistent `CoreBudgets` filter: the delta engine must
+/// still match the reference filter's admissions bit for bit.
+#[test]
+fn delta_matches_references_on_oversubscribed_fabric() {
+    let topo = FatTree::scaled(2, 8, 1).unwrap();
+    assert!(!topo.is_full_bisection(), "core must be binding");
+    let spec = TrafficSpec::scaled(2, 8, 0.9).unwrap();
+    let cfg = config(0.1, false); // oversubscription enforces on its own
+    for seed in [5u64, 11] {
+        let delta = simulate(&topo, &mut Srpt::new(), spec.generator(seed).unwrap(), cfg).unwrap();
+        let scan =
+            reference::simulate_scan(&topo, &mut Srpt::new(), spec.generator(seed).unwrap(), cfg)
+                .unwrap();
+        assert_bit_identical(&delta, &scan, &format!("oversubscribed/seed{seed}"));
+        assert!(delta.completions > 0);
+    }
+}
+
+/// The full event streams match too: counting every arrival, drain,
+/// completion, sample, and decision event on all three paths gives the
+/// same totals (fingerprints above already pin the sampled subset).
+#[test]
+fn delta_and_references_emit_identical_event_streams() {
+    let topo = FatTree::scaled(2, 4, 1).unwrap();
+    let spec = TrafficSpec::scaled(2, 4, 0.9).unwrap();
+    let cfg = config(0.05, false);
+    let mut delta_counter = EventCounterProbe::new();
+    let delta = FabricSim::new(&topo)
+        .config(cfg)
+        .scheduler(&mut Srpt::new())
+        .workload(spec.generator(7).unwrap())
+        .probe(&mut delta_counter)
+        .run()
+        .unwrap();
+    let mut scan_counter = EventCounterProbe::new();
+    let scan = reference::simulate_scan_probed(
+        &topo,
+        &mut Srpt::new(),
+        spec.generator(7).unwrap(),
+        cfg,
+        &mut scan_counter,
+    )
+    .unwrap();
+    let mut rebuild_counter = EventCounterProbe::new();
+    let rebuild = reference::simulate_full_rebuild_probed(
+        &topo,
+        &mut Srpt::new(),
+        spec.generator(7).unwrap(),
+        cfg,
+        &mut rebuild_counter,
+    )
+    .unwrap();
+    for (label, other) in [("scan", &scan_counter), ("rebuild", &rebuild_counter)] {
+        assert_eq!(delta_counter.arrivals(), other.arrivals(), "{label}");
+        assert_eq!(delta_counter.drains(), other.drains(), "{label}");
+        assert_eq!(delta_counter.completions(), other.completions(), "{label}");
+        assert_eq!(delta_counter.samples(), other.samples(), "{label}");
+        assert_eq!(delta_counter.decisions(), other.decisions(), "{label}");
+    }
+    assert_eq!(fingerprint(&delta), fingerprint(&scan));
+    assert_eq!(fingerprint(&delta), fingerprint(&rebuild));
+}

@@ -128,11 +128,26 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Stub of proptest's weighted-choice macro: picks one of the listed
+/// strategies per sample, proportionally to the (optional) `weight =>`
+/// prefixes. All arms must produce the same value type; each arm is boxed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $(($weight as u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// Everything a property test needs, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 
     /// Mirrors the `prop` module alias of the real prelude
     /// (`prop::collection::vec` and friends).

@@ -96,6 +96,37 @@ impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
 
+/// Weighted choice among boxed strategies producing one value type;
+/// returned by the [`prop_oneof!`](crate::prop_oneof) macro.
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+/// Builds a [`Union`]; used by the [`prop_oneof!`](crate::prop_oneof)
+/// macro expansion. Panics if `options` is empty or all weights are zero.
+pub fn union<T>(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+    let total: u64 = options.iter().map(|&(w, _)| w as u64).sum();
+    assert!(total > 0, "prop_oneof! needs at least one positive weight");
+    Union { options }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|&(w, _)| w as u64).sum();
+        let mut pick = rng.0.gen_range(0..total);
+        for (weight, strat) in &self.options {
+            let weight = *weight as u64;
+            if pick < weight {
+                return strat.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is bounded by the total weight")
+    }
+}
+
 /// Collection strategies (`prop::collection`).
 pub mod collection {
     use super::Strategy;

@@ -9,6 +9,7 @@
 verify: trace-smoke lint docs doc-tests
 	cargo build --release
 	cargo test -q
+	BASRPT_SHARDS=2 cargo test --release --test shard_differential
 
 # Zero-warning clippy across every target, and formatting is canonical.
 lint:
@@ -25,6 +26,7 @@ bench-smoke:
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fig5
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench table1
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench sched_overhead
+	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fabric_scale
 
 # Short traced simulation: streams every event to JSONL, re-parses each
 # emitted line and exits non-zero on any schema violation.

@@ -75,6 +75,7 @@ pub use flow::FlowState;
 pub use incremental::{check_equivalence, F64Key, IncrementalScheduler, VoqDiscipline};
 pub use schedule::{Schedule, ScheduleError};
 pub use scheduler::{
-    check_maximal, greedy_by_key, schedule_champions, Candidate, CountingScheduler, Scheduler,
+    check_maximal, greedy_by_key, schedule_champions, Candidate, CountingScheduler, MakeScheduler,
+    Scheduler,
 };
 pub use table::{CursorId, DrainOutcome, FlowTable, FlowTableError, TableCursor, VoqView};

@@ -664,46 +664,11 @@ criterion_group!(
     bench_exact_blowup
 );
 
-/// Serializes the recorded medians as `results/bench.json`, shaped
-/// `{ group: { "function/parameter": { median_ns, n } } }` — the
-/// machine-readable companion to the `tee`'d console logs in `results/`.
-fn write_bench_json(results: &[criterion::BenchResult]) -> std::io::Result<String> {
-    use std::collections::BTreeMap;
-    let mut groups: BTreeMap<&str, Vec<&criterion::BenchResult>> = BTreeMap::new();
-    for r in results {
-        let group = r.id.split('/').next().unwrap_or(&r.id);
-        groups.entry(group).or_default().push(r);
-    }
-    let mut json = String::from("{\n");
-    for (gi, (group, rows)) in groups.iter().enumerate() {
-        json.push_str(&format!("  {group:?}: {{\n"));
-        for (ri, r) in rows.iter().enumerate() {
-            let bench = r.id.strip_prefix(group).and_then(|s| s.strip_prefix('/'));
-            json.push_str(&format!(
-                "    {:?}: {{ \"median_ns\": {:.1}, \"n\": {} }}{}\n",
-                bench.unwrap_or(&r.id),
-                r.median_ns,
-                r.n,
-                if ri + 1 < rows.len() { "," } else { "" }
-            ));
-        }
-        json.push_str(&format!(
-            "  }}{}\n",
-            if gi + 1 < groups.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("}\n");
-    // `cargo bench` runs with the package as CWD; anchor on the manifest
-    // so the file lands in the workspace-level results/ either way.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench.json");
-    std::fs::write(path, &json)?;
-    Ok(path.to_string())
-}
-
 fn main() {
     benches();
     let results = criterion::take_results();
-    match write_bench_json(&results) {
+    // Merge (not overwrite): other bench targets also record groups here.
+    match basrpt_bench::write_merged(&results) {
         Ok(path) => println!("recorded {} benchmark medians to {path}", results.len()),
         Err(e) => eprintln!("could not write bench.json: {e}"),
     }

@@ -27,6 +27,7 @@
 //! ```
 
 use crate::engine::{run_with_probe, FabricError, FabricRun, SimConfig};
+use crate::topology::Topology;
 use crate::FatTree;
 use basrpt_core::Scheduler;
 use dcn_probe::{NoProbe, Probe};
@@ -67,16 +68,16 @@ use dcn_workload::FlowArrival;
 /// [`probe`](FabricSimReady::probe) before running.
 #[must_use = "chain .scheduler(..).workload(..).run() to simulate"]
 #[derive(Debug)]
-pub struct FabricSim<'t> {
-    topo: &'t FatTree,
+pub struct FabricSim<'t, T: Topology + ?Sized = FatTree> {
+    topo: &'t T,
     config: SimConfig,
 }
 
-impl<'t> FabricSim<'t> {
-    /// Starts assembling a simulation of `topo` with the default
-    /// configuration (1 s horizon, automatic sampling — see
-    /// [`SimConfig::builder`]).
-    pub fn new(topo: &'t FatTree) -> Self {
+impl<'t, T: Topology + ?Sized> FabricSim<'t, T> {
+    /// Starts assembling a simulation of `topo` — any [`Topology`]
+    /// implementation — with the default configuration (1 s horizon,
+    /// automatic sampling — see [`SimConfig::builder`]).
+    pub fn new(topo: &'t T) -> Self {
         FabricSim {
             topo,
             config: SimConfig::builder().build(),
@@ -91,7 +92,10 @@ impl<'t> FabricSim<'t> {
 
     /// Attaches the scheduling discipline, consulted on every flow arrival
     /// and completion.
-    pub fn scheduler<S: Scheduler + ?Sized>(self, scheduler: &mut S) -> FabricSimSched<'t, '_, S> {
+    pub fn scheduler<S: Scheduler + ?Sized>(
+        self,
+        scheduler: &mut S,
+    ) -> FabricSimSched<'t, '_, S, T> {
         FabricSimSched {
             topo: self.topo,
             config: self.config,
@@ -104,16 +108,16 @@ impl<'t> FabricSim<'t> {
 /// [`workload`](FabricSimSched::workload).
 #[must_use = "chain .workload(..).run() to simulate"]
 #[derive(Debug)]
-pub struct FabricSimSched<'t, 's, S: ?Sized> {
-    topo: &'t FatTree,
+pub struct FabricSimSched<'t, 's, S: ?Sized, T: Topology + ?Sized = FatTree> {
+    topo: &'t T,
     config: SimConfig,
     scheduler: &'s mut S,
 }
 
-impl<'t, 's, S: Scheduler + ?Sized> FabricSimSched<'t, 's, S> {
+impl<'t, 's, S: Scheduler + ?Sized, T: Topology + ?Sized> FabricSimSched<'t, 's, S, T> {
     /// Attaches the arrival stream: any time-ordered `FlowArrival`
     /// iterator — a `dcn-workload` generator or a scripted `Vec`.
-    pub fn workload<G>(self, generator: G) -> FabricSimReady<'t, 's, S, G, NoProbe>
+    pub fn workload<G>(self, generator: G) -> FabricSimReady<'t, 's, S, G, NoProbe, T>
     where
         G: IntoIterator<Item = FlowArrival>,
     {
@@ -131,25 +135,26 @@ impl<'t, 's, S: Scheduler + ?Sized> FabricSimSched<'t, 's, S> {
 /// attaching an observer first with [`probe`](FabricSimReady::probe).
 #[must_use = "call .run() to simulate"]
 #[derive(Debug)]
-pub struct FabricSimReady<'t, 's, S: ?Sized, G, P> {
-    topo: &'t FatTree,
+pub struct FabricSimReady<'t, 's, S: ?Sized, G, P, T: Topology + ?Sized = FatTree> {
+    topo: &'t T,
     config: SimConfig,
     scheduler: &'s mut S,
     generator: G,
     probe: P,
 }
 
-impl<'t, 's, S, G, P> FabricSimReady<'t, 's, S, G, P>
+impl<'t, 's, S, G, P, T> FabricSimReady<'t, 's, S, G, P, T>
 where
     S: Scheduler + ?Sized,
     G: IntoIterator<Item = FlowArrival>,
     P: Probe,
+    T: Topology + ?Sized,
 {
     /// Attaches an observer of the event stream (replacing any previous
     /// one). Pass `&mut probe` to keep ownership and read the results
     /// after [`run`](FabricSimReady::run); pass several observers by
     /// nesting them in a [`dcn_probe::Fanout`].
-    pub fn probe<Q: Probe>(self, probe: Q) -> FabricSimReady<'t, 's, S, G, Q> {
+    pub fn probe<Q: Probe>(self, probe: Q) -> FabricSimReady<'t, 's, S, G, Q, T> {
         FabricSimReady {
             topo: self.topo,
             config: self.config,

@@ -55,7 +55,7 @@
 
 use crate::calendar::CompletionCalendar;
 use crate::engine::ScheduledEntry;
-use crate::FatTree;
+use crate::topology::Topology;
 use dcn_types::{FlowId, Rate, SimTime, Voq};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -414,9 +414,9 @@ pub(crate) struct CoreBudgets {
 impl CoreBudgets {
     /// Filters `selected` under `topo`'s per-rack capacity, returning the
     /// admitted sub-sequence in the original priority order.
-    pub(crate) fn filter(
+    pub(crate) fn filter<T: Topology + ?Sized>(
         &mut self,
-        topo: &FatTree,
+        topo: &T,
         selected: impl Iterator<Item = (FlowId, Voq)>,
     ) -> &[(FlowId, Voq)] {
         let edge = topo.edge_rate().bytes_per_sec();
@@ -450,6 +450,7 @@ impl CoreBudgets {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FatTree;
     use dcn_types::HostId;
 
     fn f(id: u64) -> FlowId {

@@ -2,7 +2,7 @@
 
 use crate::calendar::CompletionCalendar;
 use crate::delta::{CoreBudgets, DeltaAllocator};
-use crate::FatTree;
+use crate::topology::Topology;
 use basrpt_core::{FlowState, FlowTable, Scheduler};
 use dcn_metrics::{
     FctRecorder, SizeBucketRecorder, StabilityReport, ThroughputMeter, TimeSeries, TrendConfig,
@@ -88,22 +88,6 @@ impl SimConfig {
     /// ```
     pub fn builder() -> SimConfigBuilder {
         SimConfigBuilder::default()
-    }
-
-    /// A run of the given duration with default sampling (deprecated shim).
-    ///
-    /// Equivalent to `SimConfig::builder().horizon(horizon).build()`; kept
-    /// for one release so downstream code migrates at its own pace.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `horizon` is zero or infinite.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimConfig::builder().horizon(..).build()`"
-    )]
-    pub fn new(horizon: SimTime) -> Self {
-        SimConfig::builder().horizon(horizon).build()
     }
 
     /// Replaces the FCT latency floor (builder style).
@@ -293,8 +277,8 @@ struct FlowMeta {
 /// can carry: intra-rack flows always pass; inter-rack flows consume
 /// `edge_rate` of their source rack's uplink and destination rack's
 /// downlink budgets and are skipped once a budget is exhausted.
-fn enforce_core_capacity(
-    topo: &FatTree,
+fn enforce_core_capacity<T: Topology + ?Sized>(
+    topo: &T,
     selected: impl Iterator<Item = (FlowId, Voq)>,
 ) -> Vec<(FlowId, Voq)> {
     let edge = topo.edge_rate().bytes_per_sec();
@@ -435,8 +419,8 @@ impl CompletionLookup for ScanLookup {
 /// Returns [`FabricError::BadArrival`] if an arrival references hosts
 /// outside `topo`, is a self-loop, has zero size, or goes backwards in
 /// time.
-pub fn simulate<S: Scheduler + ?Sized>(
-    topo: &FatTree,
+pub fn simulate<T: Topology + ?Sized, S: Scheduler + ?Sized>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -448,8 +432,8 @@ pub fn simulate<S: Scheduler + ?Sized>(
 /// [`FabricSim`](crate::FabricSim) builder: the delta-rate engine, which
 /// keeps a persistent [`DeltaAllocator`] across events and pays calendar
 /// work only for the flows whose allocation actually changed.
-pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
-    topo: &FatTree,
+pub(crate) fn run_with_probe<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -460,8 +444,8 @@ pub(crate) fn run_with_probe<S: Scheduler + ?Sized, P: Probe>(
 
 /// The reference event loop with the linear completion rescan (see
 /// [`crate::reference`]).
-pub(crate) fn run_scan_with_probe<S: Scheduler + ?Sized, P: Probe>(
-    topo: &FatTree,
+pub(crate) fn run_scan_with_probe<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -474,8 +458,8 @@ pub(crate) fn run_scan_with_probe<S: Scheduler + ?Sized, P: Probe>(
 /// carry-over map, the scheduled-entry vector, and the calendar's live map
 /// — on every reschedule (the PR 3–5 production engine, kept as the
 /// full-recompute baseline; see [`crate::reference`]).
-pub(crate) fn run_rebuild_with_probe<S: Scheduler + ?Sized, P: Probe>(
-    topo: &FatTree,
+pub(crate) fn run_rebuild_with_probe<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -503,8 +487,8 @@ pub(crate) fn run_rebuild_with_probe<S: Scheduler + ?Sized, P: Probe>(
 /// sample taken at an instant with coincident arrivals sees them (a run
 /// whose workload starts at `t = 0` no longer records a spurious all-zero
 /// first point).
-fn run_loop<S, P, L>(
-    topo: &FatTree,
+fn run_loop<T, S, P, L>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -512,6 +496,7 @@ fn run_loop<S, P, L>(
     mut lookup: L,
 ) -> Result<FabricRun, FabricError>
 where
+    T: Topology + ?Sized,
     S: Scheduler + ?Sized,
     P: Probe,
     L: CompletionLookup,
@@ -720,14 +705,15 @@ where
 /// Every observable is bit-identical to [`run_loop`]: both settle in
 /// schedule-priority order from the same epoch-anchored entries
 /// (`tests/delta_differential.rs` pins this across seeds × disciplines).
-fn run_delta_loop<S, P>(
-    topo: &FatTree,
+fn run_delta_loop<T, S, P>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
     probe: P,
 ) -> Result<FabricRun, FabricError>
 where
+    T: Topology + ?Sized,
     S: Scheduler + ?Sized,
     P: Probe,
 {
@@ -896,8 +882,8 @@ where
     })
 }
 
-fn validate_arrival(
-    topo: &FatTree,
+fn validate_arrival<T: Topology + ?Sized>(
+    topo: &T,
     arrival: &FlowArrival,
     last_time: SimTime,
 ) -> Result<(), FabricError> {
@@ -933,6 +919,7 @@ fn validate_arrival(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FatTree;
     use basrpt_core::Srpt;
 
     fn arrival(id: u64, t: f64, src: u32, dst: u32, size: u64) -> FlowArrival {

@@ -44,10 +44,12 @@ mod calendar;
 mod delta;
 mod engine;
 pub mod reference;
+mod shard;
 mod topology;
 
 pub use builder::{FabricSim, FabricSimReady, FabricSimSched};
 pub use calendar::CompletionCalendar;
 pub use delta::{DeltaAllocator, DeltaOutcome, DeltaStats, SettledDrain};
 pub use engine::{simulate, FabricError, FabricRun, SimConfig, SimConfigBuilder};
-pub use topology::{FatTree, TopologyError};
+pub use shard::{shards_from_env, simulate_sharded, CompletionRecord, ShardPlan, ShardedRun};
+pub use topology::{FatTree, KAryFatTree, KAryFatTreeBuilder, Topology, TopologyError};

@@ -28,7 +28,7 @@
 //! [`crate::simulate`] or the [`FabricSim`](crate::FabricSim) builder.
 
 use crate::engine::{run_rebuild_with_probe, run_scan_with_probe};
-use crate::{FabricError, FabricRun, FatTree, SimConfig};
+use crate::{FabricError, FabricRun, SimConfig, Topology};
 use basrpt_core::Scheduler;
 use dcn_probe::{NoProbe, Probe};
 use dcn_workload::FlowArrival;
@@ -43,8 +43,8 @@ use dcn_workload::FlowArrival;
 ///
 /// Returns [`FabricError::BadArrival`] under the same conditions as
 /// [`crate::simulate`].
-pub fn simulate_scan<S: Scheduler + ?Sized>(
-    topo: &FatTree,
+pub fn simulate_scan<T: Topology + ?Sized, S: Scheduler + ?Sized>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -59,8 +59,8 @@ pub fn simulate_scan<S: Scheduler + ?Sized>(
 ///
 /// Returns [`FabricError::BadArrival`] under the same conditions as
 /// [`crate::simulate`].
-pub fn simulate_scan_probed<S: Scheduler + ?Sized, P: Probe>(
-    topo: &FatTree,
+pub fn simulate_scan_probed<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -81,8 +81,8 @@ pub fn simulate_scan_probed<S: Scheduler + ?Sized, P: Probe>(
 ///
 /// Returns [`FabricError::BadArrival`] under the same conditions as
 /// [`crate::simulate`].
-pub fn simulate_full_rebuild<S: Scheduler + ?Sized>(
-    topo: &FatTree,
+pub fn simulate_full_rebuild<T: Topology + ?Sized, S: Scheduler + ?Sized>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,
@@ -97,8 +97,8 @@ pub fn simulate_full_rebuild<S: Scheduler + ?Sized>(
 ///
 /// Returns [`FabricError::BadArrival`] under the same conditions as
 /// [`crate::simulate`].
-pub fn simulate_full_rebuild_probed<S: Scheduler + ?Sized, P: Probe>(
-    topo: &FatTree,
+pub fn simulate_full_rebuild_probed<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe>(
+    topo: &T,
     scheduler: &mut S,
     generator: impl IntoIterator<Item = FlowArrival>,
     config: SimConfig,

@@ -40,5 +40,5 @@ mod scripted;
 pub use arrivals::PoissonProcess;
 pub use cdf::EmpiricalCdf;
 pub use error::WorkloadError;
-pub use pattern::{FlowArrival, FlowGenerator, TrafficSpec};
+pub use pattern::{FlowArrival, FlowGenerator, QueryScope, TrafficSpec};
 pub use scripted::StarvationScript;

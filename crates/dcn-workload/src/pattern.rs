@@ -8,6 +8,26 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Destination scope of the query population.
+///
+/// The paper draws query destinations uniformly over **all** other hosts
+/// ([`QueryScope::Fabric`]). Narrower scopes keep queries inside the
+/// source's rack or cluster of racks, which makes the workload
+/// *rack-separable*: no flow connects two clusters, so the sharded fabric
+/// engine (`dcn-fabric`) can partition one run into independent
+/// per-cluster sub-simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QueryScope {
+    /// Uniform over all other hosts of the fabric (the paper's pattern).
+    #[default]
+    Fabric,
+    /// Uniform over the other hosts of the source's rack.
+    Rack,
+    /// Uniform over the other hosts of the source's cluster of this many
+    /// consecutive racks (must divide the rack count).
+    Cluster(u32),
+}
+
 /// One generated flow arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FlowArrival {
@@ -61,6 +81,8 @@ pub struct TrafficSpec {
     query_fraction: f64,
     query_size: Bytes,
     background_sizes: EmpiricalCdf,
+    #[serde(default)]
+    query_scope: QueryScope,
 }
 
 impl TrafficSpec {
@@ -121,6 +143,7 @@ impl TrafficSpec {
             query_fraction,
             query_size,
             background_sizes,
+            query_scope: QueryScope::Fabric,
         })
     }
 
@@ -189,6 +212,41 @@ impl TrafficSpec {
         self
     }
 
+    /// Replaces the query destination scope (builder style). The default,
+    /// [`QueryScope::Fabric`], is the paper's fabric-wide pattern and
+    /// leaves the generator's random draw sequence untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] if the scope has no valid
+    /// destination for this topology (a rack scope needs ≥ 2 hosts per
+    /// rack; a cluster scope needs a positive rack count per cluster that
+    /// divides the total rack count).
+    pub fn with_query_scope(mut self, scope: QueryScope) -> Result<Self, WorkloadError> {
+        let invalid = |msg: String| Err(WorkloadError::InvalidSpec(msg));
+        match scope {
+            QueryScope::Fabric => {}
+            QueryScope::Rack => {
+                if self.query_fraction > 0.0 && self.hosts_per_rack < 2 {
+                    return invalid("rack-scoped queries need at least two hosts per rack".into());
+                }
+            }
+            QueryScope::Cluster(racks) => {
+                if racks == 0 || !self.num_racks.is_multiple_of(racks) {
+                    return invalid(format!(
+                        "cluster size {racks} must be positive and divide the {} racks",
+                        self.num_racks
+                    ));
+                }
+                if self.query_fraction > 0.0 && racks * self.hosts_per_rack < 2 {
+                    return invalid("cluster-scoped queries need at least two hosts".into());
+                }
+            }
+        }
+        self.query_scope = scope;
+        Ok(self)
+    }
+
     /// Number of racks.
     pub fn num_racks(&self) -> u32 {
         self.num_racks
@@ -227,6 +285,11 @@ impl TrafficSpec {
     /// The background flow-size distribution.
     pub fn background_sizes(&self) -> &EmpiricalCdf {
         &self.background_sizes
+    }
+
+    /// The query destination scope.
+    pub fn query_scope(&self) -> QueryScope {
+        self.query_scope
     }
 
     /// The rack a host belongs to.
@@ -363,7 +426,21 @@ impl Iterator for FlowGenerator {
         let src = HostId::new(host);
         let (dst, size, class, process) = match population {
             Population::Query => {
-                let dst = self.pick_dst(host, 0, self.spec.num_hosts());
+                let (base, span) = match self.spec.query_scope {
+                    QueryScope::Fabric => (0, self.spec.num_hosts()),
+                    QueryScope::Rack => (
+                        self.spec.rack_of(src).index() * self.spec.hosts_per_rack,
+                        self.spec.hosts_per_rack,
+                    ),
+                    QueryScope::Cluster(racks) => {
+                        let cluster = self.spec.rack_of(src).index() / racks;
+                        (
+                            cluster * racks * self.spec.hosts_per_rack,
+                            racks * self.spec.hosts_per_rack,
+                        )
+                    }
+                };
+                let dst = self.pick_dst(host, base, span);
                 (
                     dst,
                     self.spec.query_size,
@@ -565,5 +642,65 @@ mod tests {
             .unwrap()
             .with_background_sizes(EmpiricalCdf::data_mining());
         assert_eq!(spec.background_sizes(), &EmpiricalCdf::data_mining());
+    }
+
+    #[test]
+    fn fabric_scope_leaves_the_arrival_stream_untouched() {
+        let baseline = TrafficSpec::paper_default(0.8).unwrap();
+        let scoped = TrafficSpec::paper_default(0.8)
+            .unwrap()
+            .with_query_scope(QueryScope::Fabric)
+            .unwrap();
+        let mut a = baseline.generator(42).unwrap();
+        let mut b = scoped.generator(42).unwrap();
+        for _ in 0..500 {
+            let (x, y) = (a.next().unwrap(), b.next().unwrap());
+            assert_eq!((x.id, x.voq, x.size), (y.id, y.voq, y.size));
+            assert_eq!(x.time.as_secs().to_bits(), y.time.as_secs().to_bits());
+        }
+    }
+
+    #[test]
+    fn scoped_queries_stay_inside_their_scope() {
+        let spec = TrafficSpec::paper_default(0.8)
+            .unwrap()
+            .with_query_scope(QueryScope::Rack)
+            .unwrap();
+        let mut gen = spec.generator(7).unwrap();
+        for _ in 0..500 {
+            let a = gen.next().unwrap();
+            assert_eq!(spec.rack_of(a.voq.src()), spec.rack_of(a.voq.dst()));
+        }
+
+        let clustered = TrafficSpec::paper_default(0.8)
+            .unwrap()
+            .with_query_scope(QueryScope::Cluster(3))
+            .unwrap();
+        let mut gen = clustered.generator(7).unwrap();
+        for _ in 0..500 {
+            let a = gen.next().unwrap();
+            let src_cluster = clustered.rack_of(a.voq.src()).index() / 3;
+            let dst_cluster = clustered.rack_of(a.voq.dst()).index() / 3;
+            assert_eq!(src_cluster, dst_cluster);
+        }
+    }
+
+    #[test]
+    fn invalid_query_scopes_are_rejected() {
+        let spec = TrafficSpec::paper_default(0.8).unwrap(); // 12 racks
+        assert!(spec.with_query_scope(QueryScope::Cluster(0)).is_err());
+        let spec = TrafficSpec::paper_default(0.8).unwrap();
+        assert!(spec.with_query_scope(QueryScope::Cluster(5)).is_err());
+        let single = TrafficSpec::new(
+            4,
+            1,
+            Rate::from_gbps(10.0),
+            0.5,
+            1.0, // queries only, so one host per rack passes `new`
+            Bytes::from_kb(20),
+            EmpiricalCdf::web_search(),
+        )
+        .unwrap();
+        assert!(single.with_query_scope(QueryScope::Rack).is_err());
     }
 }

@@ -93,10 +93,11 @@ pub use dcn_types::{Bytes, FlowClass, FlowId, HostId, RackId, Rate, SimTime, Slo
 
 /// The names almost every program needs, importable in one line.
 ///
-/// Covers the schedulers, both simulators' entry points, workload
-/// generation, the common id/unit types, and the probe API. Anything more
-/// specialised (metrics internals, Lyapunov tooling, topology errors) stays
-/// behind its module path.
+/// Covers the schedulers, both simulators' entry points (including the
+/// sharded fabric engine), the topology layer ([`prelude::Topology`],
+/// [`prelude::FatTree`], [`prelude::KAryFatTree`]), workload generation,
+/// the common id/unit types, and the probe API. Anything more specialised
+/// (metrics internals, Lyapunov tooling) stays behind its module path.
 ///
 /// # Example
 ///
@@ -118,12 +119,15 @@ pub mod prelude {
         ExactBasrpt, FastBasrpt, Fifo, FlowTable, MaxWeight, PenaltyKind, RoundRobin, Schedule,
         Scheduler, Srpt, ThresholdBacklogSrpt,
     };
-    pub use dcn_fabric::{simulate, FabricRun, FabricSim, FatTree, SimConfig};
+    pub use dcn_fabric::{
+        shards_from_env, simulate, simulate_sharded, FabricRun, FabricSim, FatTree, KAryFatTree,
+        KAryFatTreeBuilder, ShardedRun, SimConfig, Topology, TopologyError,
+    };
     pub use dcn_metrics::{StabilityReport, TimeSeries, TrendConfig};
     pub use dcn_probe::{
         BacklogSampler, DriftProbe, EventCounterProbe, Fanout, JsonlProbe, NoProbe, Probe,
     };
     pub use dcn_switch::{RunConfig, SlottedSwitch};
     pub use dcn_types::{Bytes, FlowClass, FlowId, HostId, RackId, Rate, SimTime, Slot, Voq};
-    pub use dcn_workload::{FlowArrival, TrafficSpec};
+    pub use dcn_workload::{FlowArrival, QueryScope, TrafficSpec};
 }

@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the tier-1 gate from ROADMAP.md.
 
-.PHONY: verify lint test bench-smoke trace-smoke docs doc-tests clean
+.PHONY: verify lint test bench-smoke trace-smoke daemon-smoke docs doc-tests clean
 
 # Tier-1: release build + the root package's quiet test run, plus the
 # trace round-trip smoke, a warning-free lint/format gate, and the doc
@@ -27,11 +27,19 @@ bench-smoke:
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench table1
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench sched_overhead
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fabric_scale
+	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench daemon_throughput
 
 # Short traced simulation: streams every event to JSONL, re-parses each
 # emitted line and exits non-zero on any schema violation.
 trace-smoke:
 	cargo run --release --example trace_run target/trace-smoke
+
+# Pipes the sample flows file through the streaming daemon; `--validate`
+# re-parses every emitted completion line with `dcn_probe::jsonl::parse_line`
+# and the daemon exits non-zero on any schema violation or count mismatch.
+daemon-smoke:
+	BASRPT_HORIZON_MS=50 cargo run --release --example daemon -- \
+		examples/daemon_flows.txt --validate > /dev/null
 
 # API docs for the workspace crates; `-D warnings` turns every rustdoc
 # warning (broken intra-doc links above all) into a hard failure.

@@ -78,4 +78,6 @@ pub use scheduler::{
     check_maximal, greedy_by_key, schedule_champions, Candidate, CountingScheduler, MakeScheduler,
     Scheduler,
 };
-pub use table::{CursorId, DrainOutcome, FlowTable, FlowTableError, TableCursor, VoqView};
+pub use table::{
+    ChangeLogRead, CursorId, DrainOutcome, FlowTable, FlowTableError, TableCursor, VoqView,
+};

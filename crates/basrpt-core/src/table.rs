@@ -156,6 +156,49 @@ impl TableCursor {
     }
 }
 
+/// The outcome of reading the change log from a position
+/// ([`FlowTable::read_changes`]).
+///
+/// The loss-reporting sibling of [`FlowTable::changes_since`]: where that
+/// API collapses every unreachable position into `None`, this one reports
+/// **how much** history is gone, so a streaming consumer can distinguish
+/// "nothing new" from "I lost `skipped` changes and must rebuild".
+///
+/// For a *registered* consumer ([`FlowTable::register_cursor`]) reading
+/// from its own acknowledged position, `Lagged` has exactly one cause:
+/// stalled-cursor eviction — the consumer fell more than
+/// `STALLED_CURSOR_FACTOR` soft capacities behind and compaction dropped
+/// its pinned suffix (ordinary compaction never passes a registered
+/// consumer's acknowledgement). Unregistered consumers can also see
+/// `Lagged` after routine compaction; either way `skipped` counts the
+/// dropped entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeLogRead<'a> {
+    /// The log still reaches back to the requested position: the VOQs
+    /// mutated at or after it, oldest first (possibly empty — fully
+    /// synced).
+    Changes(&'a [Voq]),
+    /// The log was compacted past the requested position; `skipped`
+    /// changes between the position and the surviving log are lost and the
+    /// consumer must rebuild from [`FlowTable::voqs`].
+    Lagged {
+        /// Number of change-log entries dropped between the requested
+        /// position and the oldest retained entry.
+        skipped: u64,
+    },
+}
+
+impl<'a> ChangeLogRead<'a> {
+    /// The retained suffix, or `None` if the history was lost
+    /// (the [`ChangeLogRead::Lagged`] case).
+    pub fn changes(self) -> Option<&'a [Voq]> {
+        match self {
+            ChangeLogRead::Changes(c) => Some(c),
+            ChangeLogRead::Lagged { .. } => None,
+        }
+    }
+}
+
 /// Handle identifying one registered change-log consumer of one table
 /// instance (see [`FlowTable::register_cursor`]). Using a handle against a
 /// different table instance — including a clone of the issuing table — is a
@@ -512,6 +555,36 @@ impl FlowTable {
         }
         let idx = usize::try_from(pos - self.log_base).ok()?;
         self.change_log.get(idx..)
+    }
+
+    /// Reads the change log from absolute position `pos`, reporting loss
+    /// explicitly: [`ChangeLogRead::Changes`] with the retained suffix when
+    /// the log still reaches back that far, [`ChangeLogRead::Lagged`] with
+    /// the number of dropped entries when compaction passed the position.
+    ///
+    /// This is how a *registered* consumer ([`FlowTable::register_cursor`])
+    /// detects stalled-cursor eviction: ordinary compaction never drops an
+    /// entry a registered consumer has not acknowledged, so reading from
+    /// its own acknowledged position can only come back `Lagged` after the
+    /// hard-cap eviction force-advanced it — the suffix is gone and the
+    /// consumer must rebuild, knowing exactly how many changes it missed.
+    /// ([`FlowTable::changes_since`] collapses both cases into `None`.)
+    ///
+    /// Positions past the current end (which cannot arise from a position
+    /// this table handed out) read as an empty suffix.
+    pub fn read_changes(&self, pos: u64) -> ChangeLogRead<'_> {
+        if pos < self.log_base {
+            return ChangeLogRead::Lagged {
+                skipped: self.log_base - pos,
+            };
+        }
+        let idx = usize::try_from(pos - self.log_base).unwrap_or(self.change_log.len());
+        debug_assert!(
+            idx <= self.change_log.len(),
+            "read_changes position {pos} is past the log end {}",
+            self.change_log_end()
+        );
+        ChangeLogRead::Changes(self.change_log.get(idx..).unwrap_or(&[]))
     }
 
     /// Registers a long-lived change-log consumer, pinning history so
@@ -1226,6 +1299,92 @@ mod tests {
             "log should have compacted"
         );
         assert!(t.change_log_end() >= start + 2_000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_changes_reports_lag_with_skip_count() {
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 5_000)).unwrap();
+        let start = t.change_log_end();
+        // Fresh suffix: same view as changes_since, but typed.
+        t.drain(FlowId::new(1), 1).unwrap();
+        assert_eq!(
+            t.read_changes(start),
+            ChangeLogRead::Changes(&[voq(0, 1)][..])
+        );
+        assert_eq!(t.read_changes(start).changes(), t.changes_since(start));
+        // Compact the log past `start`: the read reports exactly how many
+        // entries were dropped, where changes_since only says `None`.
+        for _ in 0..2_000 {
+            t.drain(FlowId::new(1), 1).unwrap();
+        }
+        assert!(t.changes_since(start).is_none());
+        match t.read_changes(start) {
+            ChangeLogRead::Lagged { skipped } => {
+                assert!(skipped > 0);
+                let oldest = oldest_available(&t);
+                assert_eq!(skipped, oldest - start, "skip count is exact");
+            }
+            ChangeLogRead::Changes(_) => panic!("compacted position must read as Lagged"),
+        }
+        // A caught-up reader sees an empty (non-lagged) suffix.
+        assert_eq!(
+            t.read_changes(t.change_log_end()),
+            ChangeLogRead::Changes(&[][..])
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evicted_registered_cursor_reads_as_lagged() {
+        // Regression for the stalled-cursor eviction path: `record_change`
+        // used to `force_ack_all`, silently bumping a live-but-slow
+        // registered consumer past its unconsumed suffix — the consumer
+        // could not tell forced loss from ordinary staleness. Reading from
+        // the consumer's own acknowledged position must now come back
+        // `Lagged { skipped }`: for a registered consumer that is only
+        // possible after eviction, and `skipped` counts the lost entries.
+        let mut t = FlowTable::new();
+        t.insert(flow(1, 0, 1, 200_000)).unwrap();
+        let reg = t.register_cursor();
+        let acked = t.change_log_end();
+        // While compaction honors the registration, the consumer's position
+        // always reads as `Changes` — never `Lagged` — no matter how far
+        // the log grows past the soft capacity.
+        for _ in 0..1_000 {
+            t.drain(FlowId::new(1), 1).unwrap();
+            assert!(
+                matches!(t.read_changes(acked), ChangeLogRead::Changes(_)),
+                "a registered, non-stalled consumer must never lag"
+            );
+        }
+        // Stall far past the hard cap: the pinned suffix is dropped.
+        for _ in 0..100_000 {
+            t.drain(FlowId::new(1), 1).unwrap();
+        }
+        match t.read_changes(acked) {
+            ChangeLogRead::Lagged { skipped } => {
+                assert_eq!(
+                    skipped,
+                    oldest_available(&t) - acked,
+                    "every unconsumed entry is accounted as skipped"
+                );
+                assert!(skipped >= 100_000 - (STALLED_CURSOR_FACTOR as u64 + 1) * 1024 - 1);
+            }
+            ChangeLogRead::Changes(_) => {
+                panic!("evicted registration must read as Lagged, not a silent empty suffix")
+            }
+        }
+        // The registration handle survives eviction; after rebuilding and
+        // re-acknowledging, reads are `Changes` again.
+        t.ack_changes(reg, t.change_log_end());
+        let pos = t.change_log_end();
+        t.drain(FlowId::new(1), 1).unwrap();
+        assert_eq!(
+            t.read_changes(pos),
+            ChangeLogRead::Changes(&[voq(0, 1)][..])
+        );
         t.check_invariants().unwrap();
     }
 

@@ -129,6 +129,14 @@ impl<'t, 's, S: Scheduler + ?Sized, T: Topology + ?Sized> FabricSimSched<'t, 's,
             probe: NoProbe,
         }
     }
+
+    /// Leaves the batch path: instead of attaching a whole workload,
+    /// produce the step-able [`OnlineFabric`](crate::OnlineFabric) engine
+    /// and feed it arrivals one at a time (see the
+    /// [`online` module](crate::OnlineFabric) for the protocol).
+    pub fn online(self) -> crate::OnlineFabric<'t, 's, T, S> {
+        crate::OnlineFabric::new(self.topo, self.scheduler, self.config)
+    }
 }
 
 /// Fully assembled simulation: [`run`](FabricSimReady::run) it, optionally

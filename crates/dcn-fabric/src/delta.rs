@@ -350,6 +350,52 @@ impl DeltaAllocator {
         completed_any
     }
 
+    /// The live scheduled entries in priority order — the allocator's half
+    /// of an engine snapshot ([`crate::OnlineFabric::snapshot`]).
+    /// Tombstones of completions that have settled but not yet been swept
+    /// by the next [`apply`](DeltaAllocator::apply) are excluded: an entry
+    /// is live iff the index still points at its position.
+    pub(crate) fn snapshot_entries(&self) -> Vec<ScheduledEntry> {
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| self.index.get(&e.flow).is_some_and(|s| s.pos == *i))
+            .map(|(_, e)| *e)
+            .collect()
+    }
+
+    /// Rebuilds an allocator from snapshotted live entries (in priority
+    /// order) and cumulative stats. The index and calendar are
+    /// reconstructed from the entries' exact `completes_at` instants, so a
+    /// restored allocator settles, completes, and reschedules bit-for-bit
+    /// like the one that was snapshotted; the generation counter restarts
+    /// at zero, which is unobservable (generations only detect stays
+    /// within one `apply`).
+    pub(crate) fn restore(
+        rate: Rate,
+        entries: impl IntoIterator<Item = ScheduledEntry>,
+        stats: DeltaStats,
+    ) -> Self {
+        let mut alloc = DeltaAllocator::new(rate);
+        alloc.stats = stats;
+        for entry in entries {
+            alloc.calendar.update(entry.flow, entry.completes_at);
+            let replaced = alloc.index.insert(
+                entry.flow,
+                LiveSlot {
+                    pos: alloc.order.len(),
+                    gen: 0,
+                },
+            );
+            debug_assert!(
+                replaced.is_none(),
+                "snapshot entries must be unique per flow"
+            );
+            alloc.order.push(entry);
+        }
+        alloc
+    }
+
     /// Consistency check: the calendar's live set mirrors the allocator's
     /// index exactly (same flows, same instants), and every indexed
     /// position points at its own flow's entry in the priority-order

@@ -1,7 +1,6 @@
 //! The event-driven flow-level simulation engine.
 
 use crate::calendar::CompletionCalendar;
-use crate::delta::{CoreBudgets, DeltaAllocator};
 use crate::topology::Topology;
 use basrpt_core::{FlowState, FlowTable, Scheduler};
 use dcn_metrics::{
@@ -266,11 +265,13 @@ impl FabricRun {
     }
 }
 
+/// Engine-side metadata of one active flow (what the [`FlowTable`] does
+/// not carry but completions must report).
 #[derive(Debug, Clone, Copy)]
-struct FlowMeta {
-    class: FlowClass,
-    size: Bytes,
-    arrival: SimTime,
+pub(crate) struct FlowMeta {
+    pub(crate) class: FlowClass,
+    pub(crate) size: Bytes,
+    pub(crate) arrival: SimTime,
 }
 
 /// Filters a schedule (in priority order) down to the flows the core layer
@@ -428,10 +429,20 @@ pub fn simulate<T: Topology + ?Sized, S: Scheduler + ?Sized>(
     run_with_probe(topo, scheduler, generator, config, NoProbe)
 }
 
-/// The probe-instrumented event loop behind [`simulate`] and the
-/// [`FabricSim`](crate::FabricSim) builder: the delta-rate engine, which
-/// keeps a persistent [`DeltaAllocator`] across events and pays calendar
-/// work only for the flows whose allocation actually changed.
+/// The probe-instrumented batch driver behind [`simulate`] and the
+/// [`FabricSim`](crate::FabricSim) builder: a thin wrapper over the
+/// step-able [`OnlineFabric`](crate::OnlineFabric) engine (which keeps a
+/// persistent [`DeltaAllocator`] across events and pays calendar work only
+/// for the flows whose allocation actually changed).
+///
+/// For each arrival the wrapper steps the online engine through every
+/// event instant *strictly before* the arrival, then offers it — so
+/// same-instant completions, samples and decisions coalesce with the
+/// arrival exactly as in the monolithic loop this replaced, and the
+/// in-flight buffer never holds more than one instant's arrivals. The
+/// differential suites (`tests/delta_differential.rs`,
+/// `tests/online_differential.rs`) pin the outputs bit-identical to the
+/// reference engines.
 pub(crate) fn run_with_probe<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe>(
     topo: &T,
     scheduler: &mut S,
@@ -439,7 +450,23 @@ pub(crate) fn run_with_probe<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Pro
     config: SimConfig,
     probe: P,
 ) -> Result<FabricRun, FabricError> {
-    run_delta_loop(topo, scheduler, generator, config, probe)
+    let mut online = crate::online::OnlineFabric::with_probe(topo, scheduler, config, probe)
+        .high_watermark(usize::MAX)
+        .collect_completions(false);
+    for arrival in generator {
+        online.step_before(arrival.time)?;
+        if online.is_finished() {
+            // The horizon passed while stepping: the remaining arrivals
+            // can never be admitted (the monolithic loop broke here too).
+            break;
+        }
+        match online.offer(arrival) {
+            Ok(_) => {}
+            Err(crate::online::OfferError::Rejected(e)) => return Err(e),
+            Err(e) => unreachable!("unbounded buffer on an unfinished engine: {e}"),
+        }
+    }
+    online.finish()
 }
 
 /// The reference event loop with the linear completion rescan (see
@@ -693,196 +720,7 @@ where
     })
 }
 
-/// The production event loop: identical event structure to [`run_loop`]
-/// (settle, arrivals, sample, decision — in that order within an instant),
-/// but the binding of schedules to drain state lives in a persistent
-/// [`DeltaAllocator`] instead of being rebuilt per event. Per-event cost is
-/// `O(|schedule|)` generation stamps plus `O(Δ log n)` calendar edits for
-/// the allocation delta — flat in the total flow count (see
-/// `crate::delta` and `PERFMODEL.md`). The oversubscribed-core filter also
-/// reuses persistent [`CoreBudgets`] scratch instead of allocating.
-///
-/// Every observable is bit-identical to [`run_loop`]: both settle in
-/// schedule-priority order from the same epoch-anchored entries
-/// (`tests/delta_differential.rs` pins this across seeds × disciplines).
-fn run_delta_loop<T, S, P>(
-    topo: &T,
-    scheduler: &mut S,
-    generator: impl IntoIterator<Item = FlowArrival>,
-    config: SimConfig,
-    probe: P,
-) -> Result<FabricRun, FabricError>
-where
-    T: Topology + ?Sized,
-    S: Scheduler + ?Sized,
-    P: Probe,
-{
-    let mut generator = generator.into_iter();
-    let edge_rate = topo.edge_rate();
-    let enforce_core = config.enforce_core_capacity || !topo.is_full_bisection();
-
-    let mut table = FlowTable::new();
-    let mut meta: HashMap<FlowId, FlowMeta> = HashMap::new();
-    let mut alloc = DeltaAllocator::new(edge_rate);
-    let mut budgets = CoreBudgets::default();
-
-    let mut fct = FctRecorder::new();
-    let mut fct_by_size = SizeBucketRecorder::pfabric_buckets();
-    let mut throughput = ThroughputMeter::new();
-    let mut sampler = BacklogSampler::new(config.monitored_port);
-    let mut fan = Fanout::new(&mut sampler, probe);
-    let mut arrivals_count = 0usize;
-    let mut completions_count = 0usize;
-    let mut arrived_bytes = Bytes::ZERO;
-    let mut reschedules = 0u64;
-
-    let mut clock = SimTime::ZERO;
-    let mut next_sample = SimTime::ZERO;
-    let mut next_arrival = generator.next();
-    let mut last_arrival_time = SimTime::ZERO;
-
-    loop {
-        // --- determine the next event instant ---
-        let t_arrival = next_arrival.as_ref().map_or(SimTime::INFINITY, |a| a.time);
-        let t_completion = alloc.next_completion();
-        let t = t_arrival
-            .min(t_completion)
-            .min(next_sample)
-            .min(config.horizon);
-
-        // --- advance: settle every scheduled flow's account at t ---
-        let elapsed = t - clock;
-        let mut completed_any = false;
-        if elapsed > SimTime::ZERO {
-            completed_any = alloc.settle(t, |drain| {
-                let outcome = table
-                    .drain(drain.flow, drain.amount)
-                    .expect("scheduled flow is active");
-                debug_assert_eq!(outcome.drained, drain.amount, "exact drain cannot be short");
-                debug_assert_eq!(
-                    outcome.completed.is_some(),
-                    drain.completed,
-                    "allocator and table must agree on completion"
-                );
-                throughput.deliver(Bytes::new(outcome.drained));
-                fan.on_drain(&DrainEvent {
-                    time: t.as_secs(),
-                    flow: drain.flow,
-                    voq: drain.voq,
-                    amount: outcome.drained,
-                });
-                if drain.completed {
-                    let info = meta.remove(&drain.flow).expect("active flow has metadata");
-                    let flow_fct = t - info.arrival + config.base_latency;
-                    fct.record(info.class, info.size, flow_fct);
-                    fct_by_size.record(info.size, flow_fct);
-                    fan.on_completion(&CompletionEvent {
-                        time: t.as_secs(),
-                        flow: drain.flow,
-                        voq: drain.voq,
-                        size: info.size.as_u64(),
-                        fct: flow_fct.as_secs(),
-                    });
-                    completions_count += 1;
-                }
-            });
-        }
-        clock = t;
-
-        if clock >= config.horizon {
-            break;
-        }
-
-        // --- arrivals landing at (or before) the current instant ---
-        let mut arrived_any = false;
-        while let Some(arrival) = next_arrival.as_ref() {
-            if arrival.time > clock {
-                break;
-            }
-            let arrival = *next_arrival.as_ref().expect("checked above");
-            validate_arrival(topo, &arrival, last_arrival_time)?;
-            last_arrival_time = arrival.time;
-            table
-                .insert(FlowState::new(
-                    arrival.id,
-                    arrival.voq,
-                    arrival.size.as_u64(),
-                ))
-                .map_err(|e| FabricError::BadArrival(e.to_string()))?;
-            meta.insert(
-                arrival.id,
-                FlowMeta {
-                    class: arrival.class,
-                    size: arrival.size,
-                    arrival: arrival.time,
-                },
-            );
-            arrivals_count += 1;
-            arrived_bytes += arrival.size;
-            arrived_any = true;
-            fan.on_arrival(&ArrivalEvent {
-                time: arrival.time.as_secs(),
-                flow: arrival.id,
-                voq: arrival.voq,
-                size: arrival.size.as_u64(),
-            });
-            next_arrival = generator.next();
-        }
-
-        // --- sampling (after same-instant arrivals, so a t = 0 sample
-        //     records the admitted backlog, not a spurious zero) ---
-        if next_sample <= clock {
-            fan.on_sample(&SampleEvent {
-                time: clock.as_secs(),
-                table: &table,
-                delivered: throughput.delivered().as_f64(),
-            });
-            next_sample += config.sample_every;
-        }
-
-        // --- reschedule on arrival or completion (the paper's update rule) ---
-        if arrived_any || completed_any {
-            let started = fan.wants_decision_timing().then(Instant::now);
-            let schedule = scheduler.schedule(&table);
-            let latency = started.map(|s| s.elapsed());
-            fan.on_decision(&DecisionEvent {
-                time: clock.as_secs(),
-                schedule: &schedule,
-                latency,
-            });
-            let remaining =
-                |id: FlowId| table.get(id).expect("scheduled flow is active").remaining();
-            if enforce_core {
-                let admitted = budgets.filter(topo, schedule.iter());
-                alloc.apply(clock, admitted.iter().copied(), remaining);
-            } else {
-                alloc.apply(clock, schedule.iter(), remaining);
-            }
-            reschedules += 1;
-        }
-    }
-    drop(fan);
-    let series = sampler.into_series();
-
-    Ok(FabricRun {
-        fct,
-        fct_by_size,
-        throughput,
-        total_backlog: series.total_backlog,
-        monitored_port_backlog: series.monitored_port_backlog,
-        max_port_backlog: series.max_port_backlog,
-        cumulative_delivered: series.cumulative_delivered,
-        arrivals: arrivals_count,
-        completions: completions_count,
-        arrived_bytes,
-        leftover_bytes: Bytes::new(table.total_backlog()),
-        leftover_flows: table.len(),
-        reschedules,
-        horizon: config.horizon,
-    })
-}
-
-fn validate_arrival<T: Topology + ?Sized>(
+pub(crate) fn validate_arrival<T: Topology + ?Sized>(
     topo: &T,
     arrival: &FlowArrival,
     last_time: SimTime,

@@ -43,6 +43,7 @@ mod builder;
 mod calendar;
 mod delta;
 mod engine;
+mod online;
 pub mod reference;
 mod shard;
 mod topology;
@@ -51,5 +52,6 @@ pub use builder::{FabricSim, FabricSimReady, FabricSimSched};
 pub use calendar::CompletionCalendar;
 pub use delta::{DeltaAllocator, DeltaOutcome, DeltaStats, SettledDrain};
 pub use engine::{simulate, FabricError, FabricRun, SimConfig, SimConfigBuilder};
+pub use online::{Accepted, FabricSnapshot, OfferError, OnlineFabric, DEFAULT_HIGH_WATERMARK};
 pub use shard::{shards_from_env, simulate_sharded, CompletionRecord, ShardPlan, ShardedRun};
 pub use topology::{FatTree, KAryFatTree, KAryFatTreeBuilder, Topology, TopologyError};

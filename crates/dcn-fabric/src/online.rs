@@ -1,0 +1,997 @@
+//! The streaming, step-able simulation engine: a fabric run as a
+//! resumable process.
+//!
+//! [`simulate`](crate::simulate) consumes a whole arrival stream and
+//! returns once the horizon is reached. This module exposes the same
+//! engine as an **online state machine**, [`OnlineFabric`]: callers
+//! [`offer`](OnlineFabric::offer) arrivals one at a time (with
+//! backpressure once the in-flight buffer fills),
+//! [`step_until`](OnlineFabric::step_until) the simulated clock forward,
+//! [`drain_completions`](OnlineFabric::drain_completions) as flows finish,
+//! and [`finish`](OnlineFabric::finish) to obtain the exact
+//! [`FabricRun`] the batch driver would have produced. The batch driver is
+//! itself a thin wrapper over this type, so the two cannot drift — and
+//! `tests/online_differential.rs` pins them bit-identical anyway.
+//!
+//! A run can also be **suspended and resumed**: [`snapshot`] captures the
+//! full engine state — active flows, drain accounts of the scheduled set,
+//! metric recorders, clocks, and the in-flight arrival buffer — into a
+//! plain-data [`FabricSnapshot`], and [`restore`] rebuilds an engine that
+//! continues bit-for-bit as if never interrupted (given the same topology
+//! and a scheduler in an equivalent state; the shipped disciplines are
+//! stateless across decisions, so a freshly constructed one qualifies).
+//!
+//! [`snapshot`]: OnlineFabric::snapshot
+//! [`restore`]: OnlineFabric::restore
+//!
+//! # Event semantics
+//!
+//! The online engine processes events at exactly the instants and in
+//! exactly the order of the monolithic loop it was extracted from: at each
+//! event instant, completions settle first, then arrivals at (or before)
+//! the instant are admitted, then a due sample is taken, and a scheduling
+//! decision runs if any flow arrived or completed. Arrivals offered at or
+//! past the horizon are ignored, mirroring the batch loop that stopped
+//! before admitting them.
+//!
+//! # Example
+//!
+//! ```
+//! use basrpt_core::Srpt;
+//! use dcn_fabric::{FatTree, OnlineFabric, SimConfig};
+//! use dcn_types::{Bytes, FlowClass, FlowId, HostId, SimTime, Voq};
+//! use dcn_workload::FlowArrival;
+//!
+//! let topo = FatTree::scaled(2, 4, 1)?;
+//! let mut sched = Srpt::new();
+//! let config = SimConfig::builder()
+//!     .horizon(SimTime::from_secs(0.01))
+//!     .build();
+//! let mut online = OnlineFabric::new(&topo, &mut sched, config);
+//!
+//! // 1.25 MB at the 10 Gbps edge rate completes after exactly 1 ms.
+//! online.offer(FlowArrival {
+//!     id: FlowId::new(0),
+//!     time: SimTime::ZERO,
+//!     voq: Voq::new(HostId::new(0), HostId::new(1)),
+//!     size: Bytes::new(1_250_000),
+//!     class: FlowClass::Background,
+//! })?;
+//! online.step_until(SimTime::from_millis(2.0))?;
+//! let done = online.drain_completions();
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(done[0].fct, SimTime::from_millis(1.0));
+//!
+//! let run = online.finish()?;
+//! assert_eq!(run.completions, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::delta::{CoreBudgets, DeltaAllocator, DeltaStats};
+use crate::engine::{
+    validate_arrival, FabricError, FabricRun, FlowMeta, ScheduledEntry, SimConfig,
+};
+use crate::shard::CompletionRecord;
+use crate::topology::Topology;
+use basrpt_core::{FlowState, FlowTable, Scheduler};
+use dcn_metrics::{FctRecorder, SizeBucketRecorder, ThroughputMeter};
+use dcn_probe::{
+    ArrivalEvent, BacklogSampler, CompletionEvent, DecisionEvent, DrainEvent, NoProbe, Probe,
+    SampleEvent,
+};
+use dcn_types::{Bytes, SimTime};
+use dcn_workload::FlowArrival;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Default bound on the in-flight arrival buffer: past this many offered
+/// but not-yet-admitted arrivals, [`OnlineFabric::offer`] reports
+/// [`OfferError::Backpressure`] until the caller steps the clock forward.
+pub const DEFAULT_HIGH_WATERMARK: usize = 65_536;
+
+/// Outcome of a successful [`OnlineFabric::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accepted {
+    /// The arrival joined the in-flight buffer; `in_flight` counts the
+    /// buffered arrivals including this one.
+    Queued {
+        /// Arrivals currently buffered (offered but not yet admitted).
+        in_flight: usize,
+    },
+    /// The arrival lands at or past the horizon and was dropped without
+    /// validation — exactly as the batch loop, which stops at the horizon
+    /// before admitting it.
+    IgnoredAfterHorizon,
+}
+
+/// Why [`OnlineFabric::offer`] declined an arrival.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OfferError {
+    /// The in-flight buffer is at its high-watermark; step the engine
+    /// (draining the buffer into the flow table) and retry.
+    Backpressure {
+        /// Arrivals currently buffered.
+        in_flight: usize,
+        /// The configured bound ([`OnlineFabric::high_watermark`]).
+        high_watermark: usize,
+    },
+    /// The arrival is invalid (unknown hosts, self-loop, zero size, or
+    /// time running backwards) — the same conditions batch
+    /// [`simulate`](crate::simulate) rejects.
+    Rejected(FabricError),
+    /// The engine already reached its horizon ([`OnlineFabric::finish`]
+    /// is the only remaining useful call).
+    Finished,
+}
+
+impl fmt::Display for OfferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfferError::Backpressure {
+                in_flight,
+                high_watermark,
+            } => write!(
+                f,
+                "backpressure: {in_flight} arrivals in flight (high-watermark {high_watermark})"
+            ),
+            OfferError::Rejected(e) => write!(f, "{e}"),
+            OfferError::Finished => write!(f, "the engine already reached its horizon"),
+        }
+    }
+}
+
+impl Error for OfferError {}
+
+/// Metadata of one active flow, keyed explicitly for snapshots.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct MetaRecord {
+    flow: dcn_types::FlowId,
+    class: dcn_types::FlowClass,
+    size: Bytes,
+    arrival: SimTime,
+}
+
+/// A suspended [`OnlineFabric`]: every piece of engine state needed to
+/// continue a run bit-for-bit, as plain data.
+///
+/// Produced by [`OnlineFabric::snapshot`], consumed by
+/// [`OnlineFabric::restore`] / [`restore_with_probe`]. The snapshot
+/// carries the active flows (with exact remaining bytes), the scheduled
+/// set's drain accounts (epoch-anchored, so restored completions land on
+/// the same analytic instants), the in-flight arrival buffer, all metric
+/// recorders and sampled series, and the engine clocks and counters. It
+/// does **not** carry the topology or the scheduler: restore onto the
+/// same topology (checked structurally as far as host membership allows)
+/// and a scheduler in an equivalent state — the shipped disciplines keep
+/// no state across decisions, so a freshly built one is equivalent.
+///
+/// The type derives the workspace's (vendored) `serde` traits.
+///
+/// [`restore_with_probe`]: OnlineFabric::restore_with_probe
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricSnapshot {
+    config: SimConfig,
+    /// Active flows, sorted by id; `metas` is index-aligned.
+    flows: Vec<FlowState>,
+    metas: Vec<MetaRecord>,
+    /// Live scheduled entries in schedule-priority order.
+    entries: Vec<ScheduledEntry>,
+    alloc_stats: DeltaStats,
+    pending: Vec<FlowArrival>,
+    fct: FctRecorder,
+    fct_by_size: SizeBucketRecorder,
+    throughput: ThroughputMeter,
+    sampler: BacklogSampler,
+    clock: SimTime,
+    next_sample: SimTime,
+    last_arrival_time: SimTime,
+    arrivals: usize,
+    completions: usize,
+    arrived_bytes: Bytes,
+    reschedules: u64,
+    finished: bool,
+    high_watermark: usize,
+    collect_completions: bool,
+    completed: Vec<CompletionRecord>,
+}
+
+impl FabricSnapshot {
+    /// The simulated instant at which the engine was snapshotted.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of active (not yet completed) flows captured.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of offered-but-not-admitted arrivals captured.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The step-able online fabric engine — one simulation run as a resumable
+/// state machine (see the module docs in `online.rs` for the protocol and an
+/// example).
+///
+/// Obtained from [`OnlineFabric::new`] / [`with_probe`], from the
+/// [`FabricSim`](crate::FabricSim) builder via
+/// [`online`](crate::FabricSimSched::online), or from a
+/// [`FabricSnapshot`] via [`restore`](OnlineFabric::restore).
+///
+/// [`with_probe`]: OnlineFabric::with_probe
+#[derive(Debug)]
+pub struct OnlineFabric<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe = NoProbe> {
+    topo: &'t T,
+    scheduler: &'s mut S,
+    probe: P,
+    config: SimConfig,
+    enforce_core: bool,
+    table: FlowTable,
+    meta: HashMap<dcn_types::FlowId, FlowMeta>,
+    alloc: DeltaAllocator,
+    budgets: CoreBudgets,
+    fct: FctRecorder,
+    fct_by_size: SizeBucketRecorder,
+    throughput: ThroughputMeter,
+    sampler: BacklogSampler,
+    arrivals: usize,
+    completions: usize,
+    arrived_bytes: Bytes,
+    reschedules: u64,
+    clock: SimTime,
+    next_sample: SimTime,
+    last_arrival_time: SimTime,
+    /// Offered arrivals not yet admitted into the flow table, in offer
+    /// order (offers are time-ordered, so this is also time order).
+    pending: VecDeque<FlowArrival>,
+    high_watermark: usize,
+    collect_completions: bool,
+    completed: Vec<CompletionRecord>,
+    finished: bool,
+}
+
+impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized> OnlineFabric<'t, 's, T, S, NoProbe> {
+    /// Creates an idle engine at `t = 0` with no observer attached.
+    pub fn new(topo: &'t T, scheduler: &'s mut S, config: SimConfig) -> Self {
+        Self::with_probe(topo, scheduler, config, NoProbe)
+    }
+
+    /// Rebuilds an engine from a [`FabricSnapshot`] with no observer
+    /// attached — see [`restore_with_probe`] for the contract.
+    ///
+    /// [`restore_with_probe`]: OnlineFabric::restore_with_probe
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadConfig`] when the snapshot is internally
+    /// inconsistent or references hosts outside `topo`.
+    pub fn restore(
+        topo: &'t T,
+        scheduler: &'s mut S,
+        snapshot: FabricSnapshot,
+    ) -> Result<Self, FabricError> {
+        Self::restore_with_probe(topo, scheduler, NoProbe, snapshot)
+    }
+}
+
+impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric<'t, 's, T, S, P> {
+    /// Creates an idle engine at `t = 0` whose event stream feeds `probe`.
+    pub fn with_probe(topo: &'t T, scheduler: &'s mut S, config: SimConfig, probe: P) -> Self {
+        let edge_rate = topo.edge_rate();
+        let enforce_core = config.enforce_core_capacity || !topo.is_full_bisection();
+        OnlineFabric {
+            topo,
+            scheduler,
+            probe,
+            config,
+            enforce_core,
+            table: FlowTable::new(),
+            meta: HashMap::new(),
+            alloc: DeltaAllocator::new(edge_rate),
+            budgets: CoreBudgets::default(),
+            fct: FctRecorder::new(),
+            fct_by_size: SizeBucketRecorder::pfabric_buckets(),
+            throughput: ThroughputMeter::new(),
+            sampler: BacklogSampler::new(config.monitored_port),
+            arrivals: 0,
+            completions: 0,
+            arrived_bytes: Bytes::ZERO,
+            reschedules: 0,
+            clock: SimTime::ZERO,
+            next_sample: SimTime::ZERO,
+            last_arrival_time: SimTime::ZERO,
+            pending: VecDeque::new(),
+            high_watermark: DEFAULT_HIGH_WATERMARK,
+            collect_completions: true,
+            completed: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Rebuilds an engine from a [`FabricSnapshot`], feeding subsequent
+    /// events to `probe`.
+    ///
+    /// The caller supplies the topology and scheduler the snapshot was
+    /// taken under (neither is serialized). With the same topology and an
+    /// equivalently-stated scheduler, the restored engine's remaining
+    /// events, completions, series points, and final [`FabricRun`] are
+    /// bit-identical to the uninterrupted run — the contract pinned by
+    /// `tests/online_differential.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadConfig`] when the snapshot is internally
+    /// inconsistent (duplicate flows, drain accounts that disagree with
+    /// the flow table, dangling metadata) or references hosts outside
+    /// `topo`.
+    pub fn restore_with_probe(
+        topo: &'t T,
+        scheduler: &'s mut S,
+        probe: P,
+        snapshot: FabricSnapshot,
+    ) -> Result<Self, FabricError> {
+        let bad = |msg: String| FabricError::BadConfig(format!("bad snapshot: {msg}"));
+        let edge_rate = topo.edge_rate();
+        let enforce_core = snapshot.config.enforce_core_capacity || !topo.is_full_bisection();
+
+        let mut table = FlowTable::new();
+        for flow in &snapshot.flows {
+            if !topo.contains(flow.voq().src()) || !topo.contains(flow.voq().dst()) {
+                return Err(bad(format!(
+                    "flow {} uses hosts outside the {}-host topology",
+                    flow.id(),
+                    topo.num_hosts()
+                )));
+            }
+            table.insert(*flow).map_err(|e| bad(e.to_string()))?;
+        }
+
+        if snapshot.metas.len() != snapshot.flows.len() {
+            return Err(bad(format!(
+                "{} metadata records for {} flows",
+                snapshot.metas.len(),
+                snapshot.flows.len()
+            )));
+        }
+        let mut meta = HashMap::with_capacity(snapshot.metas.len());
+        for m in &snapshot.metas {
+            if table.get(m.flow).is_none() {
+                return Err(bad(format!("metadata for unknown flow {}", m.flow)));
+            }
+            let prev = meta.insert(
+                m.flow,
+                FlowMeta {
+                    class: m.class,
+                    size: m.size,
+                    arrival: m.arrival,
+                },
+            );
+            if prev.is_some() {
+                return Err(bad(format!("duplicate metadata for flow {}", m.flow)));
+            }
+        }
+
+        let mut seen = HashSet::with_capacity(snapshot.entries.len());
+        for e in &snapshot.entries {
+            let flow = table
+                .get(e.flow)
+                .ok_or_else(|| bad(format!("scheduled entry for unknown flow {}", e.flow)))?;
+            if !seen.insert(e.flow) {
+                return Err(bad(format!("flow {} scheduled twice", e.flow)));
+            }
+            if e.settled >= e.epoch_remaining {
+                return Err(bad(format!(
+                    "flow {} snapshotted fully settled (tombstones are never captured)",
+                    e.flow
+                )));
+            }
+            if flow.remaining() != e.epoch_remaining - e.settled {
+                return Err(bad(format!(
+                    "flow {} drain account disagrees with the flow table \
+                     ({} remaining vs {} owed)",
+                    e.flow,
+                    flow.remaining(),
+                    e.epoch_remaining - e.settled
+                )));
+            }
+        }
+        let alloc = DeltaAllocator::restore(edge_rate, snapshot.entries, snapshot.alloc_stats);
+
+        Ok(OnlineFabric {
+            topo,
+            scheduler,
+            probe,
+            config: snapshot.config,
+            enforce_core,
+            table,
+            meta,
+            alloc,
+            budgets: CoreBudgets::default(),
+            fct: snapshot.fct,
+            fct_by_size: snapshot.fct_by_size,
+            throughput: snapshot.throughput,
+            sampler: snapshot.sampler,
+            arrivals: snapshot.arrivals,
+            completions: snapshot.completions,
+            arrived_bytes: snapshot.arrived_bytes,
+            reschedules: snapshot.reschedules,
+            clock: snapshot.clock,
+            next_sample: snapshot.next_sample,
+            last_arrival_time: snapshot.last_arrival_time,
+            pending: snapshot.pending.into(),
+            high_watermark: snapshot.high_watermark,
+            collect_completions: snapshot.collect_completions,
+            completed: snapshot.completed,
+            finished: snapshot.finished,
+        })
+    }
+
+    /// Replaces the in-flight buffer bound (builder style; default
+    /// [`DEFAULT_HIGH_WATERMARK`]). `usize::MAX` disables backpressure.
+    pub fn high_watermark(mut self, limit: usize) -> Self {
+        self.high_watermark = limit;
+        self
+    }
+
+    /// Sets whether completions are recorded for
+    /// [`drain_completions`](OnlineFabric::drain_completions) (builder
+    /// style; default `true`). Callers that only want the final
+    /// [`FabricRun`] can switch this off so an undrained engine never
+    /// accumulates an unbounded completion log — the batch wrapper does.
+    pub fn collect_completions(mut self, collect: bool) -> Self {
+        self.collect_completions = collect;
+        self
+    }
+
+    /// Offers one arrival to the engine.
+    ///
+    /// Arrivals must be offered in non-decreasing time order (the same
+    /// contract batch [`simulate`](crate::simulate) enforces) and are
+    /// buffered until the clock steps up to their arrival instant.
+    ///
+    /// # Errors
+    ///
+    /// [`OfferError::Backpressure`] when the in-flight buffer is at its
+    /// high-watermark (step the engine, then retry),
+    /// [`OfferError::Rejected`] when the arrival itself is invalid, and
+    /// [`OfferError::Finished`] once the horizon has been reached.
+    pub fn offer(&mut self, arrival: FlowArrival) -> Result<Accepted, OfferError> {
+        if self.finished {
+            return Err(OfferError::Finished);
+        }
+        if arrival.time >= self.config.horizon {
+            // The batch loop stops at the horizon before admitting (or
+            // even validating) such an arrival; mirror it exactly.
+            return Ok(Accepted::IgnoredAfterHorizon);
+        }
+        if self.pending.len() >= self.high_watermark {
+            return Err(OfferError::Backpressure {
+                in_flight: self.pending.len(),
+                high_watermark: self.high_watermark,
+            });
+        }
+        validate_arrival(self.topo, &arrival, self.last_arrival_time)
+            .map_err(OfferError::Rejected)?;
+        if arrival.time < self.clock {
+            return Err(OfferError::Rejected(FabricError::BadArrival(format!(
+                "flow {} arrives at {} but the engine already stepped to {}",
+                arrival.id, arrival.time, self.clock
+            ))));
+        }
+        self.last_arrival_time = arrival.time;
+        self.pending.push_back(arrival);
+        Ok(Accepted::Queued {
+            in_flight: self.pending.len(),
+        })
+    }
+
+    /// The instant of the next internal event: the earliest of the first
+    /// buffered arrival, the next scheduled completion, the next sample
+    /// point, and the horizon. Always finite (at most the horizon).
+    fn next_event_time(&mut self) -> SimTime {
+        self.pending
+            .front()
+            .map_or(SimTime::INFINITY, |a| a.time)
+            .min(self.alloc.next_completion())
+            .min(self.next_sample)
+            .min(self.config.horizon)
+    }
+
+    fn step_while(
+        &mut self,
+        mut keep_going: impl FnMut(SimTime) -> bool,
+    ) -> Result<u64, FabricError> {
+        let mut steps = 0;
+        while !self.finished {
+            let t = self.next_event_time();
+            if !keep_going(t) {
+                break;
+            }
+            self.advance_to(t)?;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// Processes every internal event at instants `<= limit`, returning
+    /// how many event instants were processed. The clock never moves past
+    /// the earliest pending event, so stepping far beyond the last offered
+    /// arrival is safe — the engine stops at the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadArrival`] if a buffered arrival's flow id
+    /// collides with an active flow (the only admission failure left after
+    /// [`offer`](OnlineFabric::offer) validation).
+    pub fn step_until(&mut self, limit: SimTime) -> Result<u64, FabricError> {
+        self.step_while(|t| t <= limit)
+    }
+
+    /// Processes every internal event at instants strictly before
+    /// `limit` — the batch wrapper's primitive: stepping strictly before
+    /// the next arrival's instant leaves same-instant completions and
+    /// samples to coalesce with that arrival into a single event, exactly
+    /// as the monolithic loop ordered them.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_until`](OnlineFabric::step_until).
+    pub fn step_before(&mut self, limit: SimTime) -> Result<u64, FabricError> {
+        self.step_while(|t| t < limit)
+    }
+
+    /// Runs one event instant `t`: settle completions, admit due
+    /// arrivals, sample, reschedule — the batch loop body, verbatim.
+    fn advance_to(&mut self, t: SimTime) -> Result<(), FabricError> {
+        let elapsed = t - self.clock;
+        let mut completed_any = false;
+        if elapsed > SimTime::ZERO {
+            let table = &mut self.table;
+            let meta = &mut self.meta;
+            let fct = &mut self.fct;
+            let fct_by_size = &mut self.fct_by_size;
+            let throughput = &mut self.throughput;
+            let sampler = &mut self.sampler;
+            let probe = &mut self.probe;
+            let completed = &mut self.completed;
+            let completions = &mut self.completions;
+            let collect = self.collect_completions;
+            let base_latency = self.config.base_latency;
+            completed_any = self.alloc.settle(t, |drain| {
+                let outcome = table
+                    .drain(drain.flow, drain.amount)
+                    .expect("scheduled flow is active");
+                debug_assert_eq!(outcome.drained, drain.amount, "exact drain cannot be short");
+                throughput.deliver(Bytes::new(outcome.drained));
+                let ev = DrainEvent {
+                    time: t.as_secs(),
+                    flow: drain.flow,
+                    voq: drain.voq,
+                    amount: outcome.drained,
+                };
+                sampler.on_drain(&ev);
+                probe.on_drain(&ev);
+                if let Some(done) = outcome.completed {
+                    let info = meta.remove(&drain.flow).expect("active flow has metadata");
+                    let flow_fct = t - info.arrival + base_latency;
+                    fct.record(info.class, info.size, flow_fct);
+                    fct_by_size.record(info.size, flow_fct);
+                    let ev = CompletionEvent {
+                        time: t.as_secs(),
+                        flow: drain.flow,
+                        voq: drain.voq,
+                        size: info.size.as_u64(),
+                        fct: flow_fct.as_secs(),
+                    };
+                    sampler.on_completion(&ev);
+                    probe.on_completion(&ev);
+                    if collect {
+                        completed.push(CompletionRecord {
+                            flow: drain.flow,
+                            time: t,
+                            voq: drain.voq,
+                            class: info.class,
+                            size: info.size,
+                            fct: flow_fct,
+                        });
+                    }
+                    *completions += 1;
+                    debug_assert_eq!(drain.voq, done.voq());
+                    debug_assert!(drain.completed);
+                }
+            });
+        }
+        self.clock = t;
+
+        if self.clock >= self.config.horizon {
+            self.finished = true;
+            return Ok(());
+        }
+
+        // Arrivals landing at (or before) the current instant.
+        let mut arrived_any = false;
+        while let Some(arrival) = self.pending.front() {
+            if arrival.time > self.clock {
+                break;
+            }
+            let arrival = self.pending.pop_front().expect("checked above");
+            self.table
+                .insert(FlowState::new(
+                    arrival.id,
+                    arrival.voq,
+                    arrival.size.as_u64(),
+                ))
+                .map_err(|e| FabricError::BadArrival(e.to_string()))?;
+            self.meta.insert(
+                arrival.id,
+                FlowMeta {
+                    class: arrival.class,
+                    size: arrival.size,
+                    arrival: arrival.time,
+                },
+            );
+            self.arrivals += 1;
+            self.arrived_bytes += arrival.size;
+            arrived_any = true;
+            let ev = ArrivalEvent {
+                time: arrival.time.as_secs(),
+                flow: arrival.id,
+                voq: arrival.voq,
+                size: arrival.size.as_u64(),
+            };
+            self.sampler.on_arrival(&ev);
+            self.probe.on_arrival(&ev);
+        }
+
+        // Sampling (after same-instant arrivals, so a t = 0 sample records
+        // the admitted backlog, not a spurious zero).
+        if self.next_sample <= self.clock {
+            let ev = SampleEvent {
+                time: self.clock.as_secs(),
+                table: &self.table,
+                delivered: self.throughput.delivered().as_f64(),
+            };
+            self.sampler.on_sample(&ev);
+            self.probe.on_sample(&ev);
+            self.next_sample += self.config.sample_every;
+        }
+
+        // Reschedule on arrival or completion (the paper's update rule).
+        if arrived_any || completed_any {
+            let wants_timing =
+                self.sampler.wants_decision_timing() || self.probe.wants_decision_timing();
+            let started = wants_timing.then(Instant::now);
+            let schedule = self.scheduler.schedule(&self.table);
+            let latency = started.map(|s| s.elapsed());
+            let ev = DecisionEvent {
+                time: self.clock.as_secs(),
+                schedule: &schedule,
+                latency,
+            };
+            self.sampler.on_decision(&ev);
+            self.probe.on_decision(&ev);
+            let table = &self.table;
+            let remaining = |id| table.get(id).expect("scheduled flow is active").remaining();
+            if self.enforce_core {
+                let admitted = self.budgets.filter(self.topo, schedule.iter());
+                self.alloc
+                    .apply(self.clock, admitted.iter().copied(), remaining);
+            } else {
+                self.alloc.apply(self.clock, schedule.iter(), remaining);
+            }
+            self.reschedules += 1;
+        }
+        Ok(())
+    }
+
+    /// Takes the completions recorded since the last call (or since
+    /// construction), in completion order. Empty when
+    /// [`collect_completions`](OnlineFabric::collect_completions) is off.
+    pub fn drain_completions(&mut self) -> Vec<CompletionRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Runs the engine to its horizon and returns the run measurements —
+    /// bit-identical to batch [`simulate`](crate::simulate) over the same
+    /// offered arrivals.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_until`](OnlineFabric::step_until).
+    pub fn finish(mut self) -> Result<FabricRun, FabricError> {
+        self.step_until(self.config.horizon)?;
+        debug_assert!(self.finished, "the horizon event marks the engine finished");
+        let series = self.sampler.into_series();
+        Ok(FabricRun {
+            fct: self.fct,
+            fct_by_size: self.fct_by_size,
+            throughput: self.throughput,
+            total_backlog: series.total_backlog,
+            monitored_port_backlog: series.monitored_port_backlog,
+            max_port_backlog: series.max_port_backlog,
+            cumulative_delivered: series.cumulative_delivered,
+            arrivals: self.arrivals,
+            completions: self.completions,
+            arrived_bytes: self.arrived_bytes,
+            leftover_bytes: Bytes::new(self.table.total_backlog()),
+            leftover_flows: self.table.len(),
+            reschedules: self.reschedules,
+            horizon: self.config.horizon,
+        })
+    }
+
+    /// Captures the full engine state as a [`FabricSnapshot`]. The engine
+    /// is untouched and can keep running; the snapshot restores (onto the
+    /// same topology and an equivalently-stated scheduler) to an engine
+    /// that continues bit-for-bit.
+    pub fn snapshot(&self) -> FabricSnapshot {
+        let mut flows: Vec<FlowState> = self.table.iter().copied().collect();
+        flows.sort_by_key(|f| f.id());
+        let metas = flows
+            .iter()
+            .map(|f| {
+                let info = self.meta.get(&f.id()).expect("active flow has metadata");
+                MetaRecord {
+                    flow: f.id(),
+                    class: info.class,
+                    size: info.size,
+                    arrival: info.arrival,
+                }
+            })
+            .collect();
+        FabricSnapshot {
+            config: self.config,
+            flows,
+            metas,
+            entries: self.alloc.snapshot_entries(),
+            alloc_stats: self.alloc.stats(),
+            pending: self.pending.iter().copied().collect(),
+            fct: self.fct.clone(),
+            fct_by_size: self.fct_by_size.clone(),
+            throughput: self.throughput,
+            sampler: self.sampler.clone(),
+            clock: self.clock,
+            next_sample: self.next_sample,
+            last_arrival_time: self.last_arrival_time,
+            arrivals: self.arrivals,
+            completions: self.completions,
+            arrived_bytes: self.arrived_bytes,
+            reschedules: self.reschedules,
+            finished: self.finished,
+            high_watermark: self.high_watermark,
+            collect_completions: self.collect_completions,
+            completed: self.completed.clone(),
+        }
+    }
+
+    /// The current simulated instant (the last processed event's time).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Whether the horizon has been reached; once `true`, only
+    /// [`drain_completions`](OnlineFabric::drain_completions),
+    /// [`snapshot`](OnlineFabric::snapshot) and
+    /// [`finish`](OnlineFabric::finish) remain useful.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Arrivals offered but not yet admitted into the flow table.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of currently active (admitted, not completed) flows.
+    pub fn active_flows(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Cumulative delta-rescheduling statistics so far.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.alloc.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FatTree;
+    use basrpt_core::Srpt;
+    use dcn_types::{FlowClass, FlowId, HostId, Voq};
+
+    fn arrival(id: u64, t: f64, src: u32, dst: u32, size: u64) -> FlowArrival {
+        FlowArrival {
+            id: FlowId::new(id),
+            time: SimTime::from_secs(t),
+            voq: Voq::new(HostId::new(src), HostId::new(dst)),
+            size: Bytes::new(size),
+            class: FlowClass::Background,
+        }
+    }
+
+    fn small_topo() -> FatTree {
+        FatTree::scaled(2, 4, 1).unwrap()
+    }
+
+    fn config(horizon_s: f64) -> SimConfig {
+        SimConfig::builder()
+            .horizon(SimTime::from_secs(horizon_s))
+            .build()
+    }
+
+    #[test]
+    fn offer_step_finish_matches_batch_counters() {
+        let topo = small_topo();
+        let mut sched = Srpt::new();
+        let mut online = OnlineFabric::new(&topo, &mut sched, config(0.01));
+        online.offer(arrival(0, 0.0, 0, 1, 1_250_000)).unwrap();
+        assert_eq!(online.in_flight(), 1);
+        online.step_until(SimTime::from_millis(2.0)).unwrap();
+        assert_eq!(online.in_flight(), 0);
+        // The clock sits at the last processed event instant, at or before
+        // the step limit but past the 1 ms completion.
+        assert!(online.clock() >= SimTime::from_millis(1.0));
+        assert!(online.clock() <= SimTime::from_millis(2.0));
+        let done = online.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].fct, SimTime::from_millis(1.0));
+        assert_eq!(done[0].size, Bytes::new(1_250_000));
+        let run = online.finish().unwrap();
+        assert_eq!(run.completions, 1);
+        assert_eq!(run.leftover_flows, 0);
+    }
+
+    #[test]
+    fn backpressure_trips_at_the_watermark_and_clears_after_stepping() {
+        let topo = small_topo();
+        let mut sched = Srpt::new();
+        let mut online = OnlineFabric::new(&topo, &mut sched, config(1.0)).high_watermark(2);
+        online.offer(arrival(0, 0.001, 0, 1, 100)).unwrap();
+        online.offer(arrival(1, 0.002, 2, 3, 100)).unwrap();
+        let err = online.offer(arrival(2, 0.003, 4, 5, 100)).unwrap_err();
+        assert_eq!(
+            err,
+            OfferError::Backpressure {
+                in_flight: 2,
+                high_watermark: 2
+            }
+        );
+        online.step_until(SimTime::from_secs(0.0025)).unwrap();
+        assert_eq!(online.in_flight(), 0);
+        assert!(matches!(
+            online.offer(arrival(2, 0.003, 4, 5, 100)),
+            Ok(Accepted::Queued { in_flight: 1 })
+        ));
+    }
+
+    #[test]
+    fn arrivals_at_or_past_the_horizon_are_ignored() {
+        let topo = small_topo();
+        let mut sched = Srpt::new();
+        let mut online = OnlineFabric::new(&topo, &mut sched, config(0.01));
+        assert_eq!(
+            online.offer(arrival(0, 0.01, 0, 1, 100)).unwrap(),
+            Accepted::IgnoredAfterHorizon
+        );
+        // Dropped without validation — even an invalid self-loop passes.
+        let mut bad = arrival(1, 0.5, 3, 3, 0);
+        bad.size = Bytes::ZERO;
+        assert_eq!(online.offer(bad).unwrap(), Accepted::IgnoredAfterHorizon);
+        let run = online.finish().unwrap();
+        assert_eq!(run.arrivals, 0);
+    }
+
+    #[test]
+    fn offers_after_finish_report_finished() {
+        let topo = small_topo();
+        let mut sched = Srpt::new();
+        let mut online = OnlineFabric::new(&topo, &mut sched, config(0.01));
+        online.step_until(SimTime::from_secs(1.0)).unwrap();
+        assert!(online.is_finished());
+        assert_eq!(
+            online.offer(arrival(0, 0.001, 0, 1, 100)).unwrap_err(),
+            OfferError::Finished
+        );
+    }
+
+    #[test]
+    fn invalid_arrivals_are_rejected_at_offer_time() {
+        let topo = small_topo();
+        let mut sched = Srpt::new();
+        let mut online = OnlineFabric::new(&topo, &mut sched, config(1.0));
+        assert!(matches!(
+            online.offer(arrival(0, 0.1, 0, 0, 100)),
+            Err(OfferError::Rejected(FabricError::BadArrival(_)))
+        ));
+        online.offer(arrival(1, 0.2, 0, 1, 100)).unwrap();
+        // Time must not run backwards across offers.
+        assert!(matches!(
+            online.offer(arrival(2, 0.1, 2, 3, 100)),
+            Err(OfferError::Rejected(FabricError::BadArrival(_)))
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_midrun_continues_to_the_same_run() {
+        let topo = small_topo();
+        let workload = vec![
+            arrival(0, 0.0, 0, 1, 1_250_000),
+            arrival(1, 0.0002, 2, 1, 600_000),
+            arrival(2, 0.0005, 4, 5, 2_000_000),
+            arrival(3, 0.0011, 6, 7, 40_000),
+        ];
+
+        let mut sched_a = Srpt::new();
+        let mut uninterrupted = OnlineFabric::new(&topo, &mut sched_a, config(0.01));
+        for a in &workload {
+            uninterrupted.offer(*a).unwrap();
+        }
+        let want = uninterrupted.finish().unwrap();
+
+        let mut sched_b = Srpt::new();
+        let mut first = OnlineFabric::new(&topo, &mut sched_b, config(0.01));
+        for a in &workload[..2] {
+            first.offer(*a).unwrap();
+        }
+        first.step_until(SimTime::from_secs(0.0004)).unwrap();
+        let snap = first.snapshot();
+        assert!(snap.active_flows() > 0);
+        let snap_clock = first.clock();
+        drop(first);
+
+        let mut sched_c = Srpt::new();
+        let mut resumed = OnlineFabric::restore(&topo, &mut sched_c, snap).unwrap();
+        assert_eq!(resumed.clock(), snap_clock);
+        for a in &workload[2..] {
+            resumed.offer(*a).unwrap();
+        }
+        let got = resumed.finish().unwrap();
+
+        assert_eq!(got.completions, want.completions);
+        assert_eq!(got.arrivals, want.arrivals);
+        assert_eq!(got.reschedules, want.reschedules);
+        assert_eq!(got.throughput.delivered(), want.throughput.delivered());
+        assert_eq!(
+            got.total_backlog.values(),
+            want.total_backlog.values(),
+            "restored series must continue bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let topo = small_topo();
+        let mut sched = Srpt::new();
+        let mut online = OnlineFabric::new(&topo, &mut sched, config(0.01));
+        online.offer(arrival(0, 0.0, 0, 1, 1_250_000)).unwrap();
+        online.step_until(SimTime::from_secs(0.0001)).unwrap();
+        let snap = online.snapshot();
+        drop(online);
+
+        // A smaller topology no longer contains the snapshot's hosts.
+        let tiny = FatTree::scaled(1, 1, 1).unwrap();
+        let mut sched2 = Srpt::new();
+        let err = OnlineFabric::restore(&tiny, &mut sched2, snap.clone()).unwrap_err();
+        assert!(matches!(err, FabricError::BadConfig(_)), "{err}");
+
+        // Corrupting the drain account must be caught.
+        let mut broken = snap;
+        broken.entries[0].settled += 1;
+        let mut sched3 = Srpt::new();
+        let err = OnlineFabric::restore(&topo, &mut sched3, broken).unwrap_err();
+        assert!(matches!(err, FabricError::BadConfig(_)), "{err}");
+    }
+}

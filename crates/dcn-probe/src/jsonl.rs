@@ -240,6 +240,11 @@ impl Parser<'_> {
 /// I/O errors do not panic the simulation: the first error is latched, all
 /// further output is dropped, and [`JsonlProbe::finish`] surfaces it.
 ///
+/// Call `finish` to surface errors; a probe that is merely dropped still
+/// best-effort flushes its sink, and if an error was latched but never
+/// surfaced it prints a one-line note to stderr (the error itself cannot
+/// be returned from `Drop`).
+///
 /// # Example
 ///
 /// ```
@@ -262,7 +267,9 @@ impl Parser<'_> {
 /// ```
 #[derive(Debug)]
 pub struct JsonlProbe<W: Write> {
-    sink: W,
+    /// `None` only after [`JsonlProbe::finish`] took the sink (so the
+    /// `Drop` that still runs on the emptied probe is a no-op).
+    sink: Option<W>,
     lines: u64,
     error: Option<io::Error>,
     buf: String,
@@ -273,7 +280,7 @@ impl<W: Write> JsonlProbe<W> {
     /// [`std::io::BufWriter`]: the probe issues one `write_all` per event.
     pub fn new(sink: W) -> Self {
         JsonlProbe {
-            sink,
+            sink: Some(sink),
             lines: 0,
             error: None,
             buf: String::with_capacity(128),
@@ -299,8 +306,9 @@ impl<W: Write> JsonlProbe<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.sink.flush()?;
-        Ok(self.sink)
+        let mut sink = self.sink.take().expect("sink is present until finish");
+        sink.flush()?;
+        Ok(sink)
     }
 
     fn emit(&mut self) {
@@ -308,10 +316,32 @@ impl<W: Write> JsonlProbe<W> {
             return;
         }
         self.buf.push('\n');
-        match self.sink.write_all(self.buf.as_bytes()) {
+        let sink = self.sink.as_mut().expect("sink is present until finish");
+        match sink.write_all(self.buf.as_bytes()) {
             Ok(()) => self.lines += 1,
             Err(e) => self.error = Some(e),
         }
+    }
+}
+
+impl<W: Write> Drop for JsonlProbe<W> {
+    /// Best-effort cleanup for probes dropped without
+    /// [`JsonlProbe::finish`]: flushes the sink so buffered lines are not
+    /// silently lost, and notes a latched-but-unreported error on stderr
+    /// (`Drop` cannot return it). `finish` remains the error-surfacing
+    /// path — it empties the probe, making this a no-op.
+    fn drop(&mut self) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        if let Some(e) = &self.error {
+            eprintln!(
+                "JsonlProbe dropped without finish() after an unreported I/O error \
+                 ({} lines written): {e}",
+                self.lines
+            );
+        }
+        let _ = sink.flush();
     }
 }
 
@@ -509,6 +539,94 @@ mod tests {
         assert!(probe.has_error());
         assert_eq!(probe.lines_written(), 0);
         assert!(probe.finish().is_err());
+    }
+
+    #[test]
+    fn drop_without_finish_flushes_the_sink() {
+        // Regression: a probe dropped without `finish()` used to leave the
+        // sink unflushed (buffered lines lost on BufWriter-style sinks).
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Tracking {
+            flushes: Rc<RefCell<u32>>,
+            written: Rc<RefCell<Vec<u8>>>,
+        }
+        impl Write for Tracking {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.written.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                *self.flushes.borrow_mut() += 1;
+                Ok(())
+            }
+        }
+
+        let flushes = Rc::new(RefCell::new(0));
+        let written = Rc::new(RefCell::new(Vec::new()));
+        {
+            let mut probe = JsonlProbe::new(Tracking {
+                flushes: flushes.clone(),
+                written: written.clone(),
+            });
+            probe.on_drain(&DrainEvent {
+                time: 0.0,
+                flow: FlowId::new(1),
+                voq: voq(),
+                amount: 1,
+            });
+            assert_eq!(*flushes.borrow(), 0, "no eager flush per event");
+        }
+        assert_eq!(*flushes.borrow(), 1, "drop must flush the sink");
+        assert!(!written.borrow().is_empty());
+    }
+
+    #[test]
+    fn drop_after_latched_error_still_attempts_flush_without_panicking() {
+        // Regression: dropping an errored probe must neither panic nor skip
+        // the best-effort flush (partial output may still be salvageable).
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct FailWrites {
+            flushes: Rc<RefCell<u32>>,
+        }
+        impl Write for FailWrites {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                *self.flushes.borrow_mut() += 1;
+                Ok(())
+            }
+        }
+
+        let flushes = Rc::new(RefCell::new(0));
+        {
+            let mut probe = JsonlProbe::new(FailWrites {
+                flushes: flushes.clone(),
+            });
+            probe.on_drain(&DrainEvent {
+                time: 0.0,
+                flow: FlowId::new(1),
+                voq: voq(),
+                amount: 1,
+            });
+            assert!(probe.has_error());
+            // Dropped without finish(): the latched error is reported on
+            // stderr (not testable here) instead of vanishing.
+        }
+        assert_eq!(*flushes.borrow(), 1);
+    }
+
+    #[test]
+    fn finish_leaves_nothing_for_drop() {
+        // `finish` consumes the sink; the Drop that still runs on the
+        // emptied probe must not double-flush.
+        let bytes = JsonlProbe::new(Vec::new()).finish().unwrap();
+        assert!(bytes.is_empty());
     }
 
     #[test]

@@ -120,8 +120,9 @@ pub mod prelude {
         Scheduler, Srpt, ThresholdBacklogSrpt,
     };
     pub use dcn_fabric::{
-        shards_from_env, simulate, simulate_sharded, FabricRun, FabricSim, FatTree, KAryFatTree,
-        KAryFatTreeBuilder, ShardedRun, SimConfig, Topology, TopologyError,
+        shards_from_env, simulate, simulate_sharded, FabricRun, FabricSim, FabricSnapshot, FatTree,
+        KAryFatTree, KAryFatTreeBuilder, OnlineFabric, ShardedRun, SimConfig, Topology,
+        TopologyError,
     };
     pub use dcn_metrics::{StabilityReport, TimeSeries, TrendConfig};
     pub use dcn_probe::{

@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the tier-1 gate from ROADMAP.md.
 
-.PHONY: verify lint test bench-smoke trace-smoke daemon-smoke docs doc-tests clean
+.PHONY: verify lint test test-baselines bench-smoke trace-smoke daemon-smoke docs doc-tests clean
 
 # Tier-1: release build + the root package's quiet test run, plus the
 # trace round-trip smoke, a warning-free lint/format gate, and the doc
@@ -10,11 +10,19 @@ verify: trace-smoke lint docs doc-tests
 	cargo build --release
 	cargo test -q
 	BASRPT_SHARDS=2 cargo test --release --test shard_differential
+	$(MAKE) test-baselines
 
 # Zero-warning clippy across every target, and formatting is canonical.
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 	cargo fmt --check
+
+# The baseline-discipline invariants at release speed and a non-default
+# shard count: the fair-share production-vs-naive differential matrix and
+# the RepFlow dominance/degeneracy property suite.
+test-baselines:
+	BASRPT_SHARDS=4 cargo test --release --test fairshare_differential
+	cargo test --release --test repflow_props
 
 # The full workspace test suite (unit + integration + property + doctests).
 test:
@@ -28,6 +36,7 @@ bench-smoke:
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench sched_overhead
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fabric_scale
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench daemon_throughput
+	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench baseline_disciplines
 
 # Short traced simulation: streams every event to JSONL, re-parses each
 # emitted line and exits non-zero on any schema violation.

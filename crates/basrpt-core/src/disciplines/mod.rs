@@ -4,6 +4,7 @@ mod exact_basrpt;
 mod fast_basrpt;
 mod fifo;
 mod maxweight;
+mod repflow;
 mod round_robin;
 mod srpt;
 mod threshold;
@@ -12,6 +13,7 @@ pub use exact_basrpt::{ExactBasrpt, ExactBasrptError, PenaltyKind};
 pub use fast_basrpt::FastBasrpt;
 pub use fifo::Fifo;
 pub use maxweight::MaxWeight;
+pub use repflow::{RepFlow, REPFLOW_DEFAULT_THRESHOLD};
 pub use round_robin::RoundRobin;
 pub use srpt::Srpt;
 pub use threshold::ThresholdBacklogSrpt;

@@ -68,8 +68,8 @@ mod table;
 pub mod validity;
 
 pub use disciplines::{
-    ExactBasrpt, ExactBasrptError, FastBasrpt, Fifo, MaxWeight, PenaltyKind, RoundRobin, Srpt,
-    ThresholdBacklogSrpt,
+    ExactBasrpt, ExactBasrptError, FastBasrpt, Fifo, MaxWeight, PenaltyKind, RepFlow, RoundRobin,
+    Srpt, ThresholdBacklogSrpt, REPFLOW_DEFAULT_THRESHOLD,
 };
 pub use flow::FlowState;
 pub use incremental::{check_equivalence, F64Key, IncrementalScheduler, VoqDiscipline};

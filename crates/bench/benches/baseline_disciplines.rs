@@ -1,0 +1,161 @@
+//! End-to-end cost of the baseline disciplines on one congested fabric.
+//!
+//! One group, `baseline_disciplines`: the same oversubscribed k-ary
+//! fat-tree workload run through each engine the baselines added —
+//!
+//! * `srpt` — the production delta-rate engine with the aggregate core
+//!   filter (the reference point every other engine is measured against);
+//! * `fair_share` — the incremental max-min water-filling engine, whose
+//!   per-event cost is dominated by allocator rounds instead of the
+//!   crossbar matching;
+//! * `ecmp_srpt` — single-path routing: the per-plane budget filter in
+//!   place of the aggregate one, no replication;
+//! * `repflow` — ECMP plus replica races for every sub-100 KB flow, which
+//!   adds the race bookkeeping and a second admission pass on top.
+//!
+//! Medians land in `results/bench.json` via the merging recorder, so the
+//! relative cost of the baselines is tracked alongside the scale curves.
+
+use basrpt_core::{RepFlow, Srpt};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dcn_fabric::{
+    simulate, simulate_ecmp, simulate_fair_share, simulate_repflow, KAryFatTree, SimConfig,
+    Topology,
+};
+use dcn_types::SimTime;
+use dcn_workload::{FlowArrival, TrafficSpec};
+use std::time::Duration;
+
+/// Whether this is the seconds-budget smoke run (`BASRPT_SCALE=quick`).
+fn quick() -> bool {
+    std::env::var("BASRPT_SCALE").as_deref() == Ok("quick")
+}
+
+/// The measured fabric: 2:1 oversubscribed, two core planes of exactly
+/// one edge-rate flow each, so the plane filters bind and RepFlow's
+/// races actually run (the same shape the differential suites pin).
+fn bench_topology() -> KAryFatTree {
+    KAryFatTree::builder(4)
+        .hosts_per_edge(4)
+        .oversubscription(2.0)
+        .build()
+        .expect("valid k-ary parameters")
+}
+
+fn arrivals_for(topo: &KAryFatTree, load: f64, horizon: SimTime, seed: u64) -> Vec<FlowArrival> {
+    TrafficSpec::scaled(topo.num_racks(), topo.hosts_per_rack(), load)
+        .expect("valid scaled spec")
+        .generator(seed)
+        .expect("generator")
+        .take_while(|a| a.time < horizon)
+        .collect()
+}
+
+fn bench_baseline_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_disciplines");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(if quick() { 1 } else { 3 }));
+
+    let topo = bench_topology();
+    let horizon = SimTime::from_millis(if quick() { 5.0 } else { 20.0 });
+    let cfg = SimConfig::builder().horizon(horizon).build();
+    let arrivals = arrivals_for(&topo, 0.8, horizon, 11);
+
+    group.bench_with_input(
+        BenchmarkId::new("end_to_end", "srpt"),
+        &arrivals,
+        |b, arrivals| {
+            b.iter(|| {
+                simulate(&topo, &mut Srpt::new(), arrivals.iter().copied(), cfg)
+                    .expect("fabric run")
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("end_to_end", "fair_share"),
+        &arrivals,
+        |b, arrivals| {
+            b.iter(|| {
+                simulate_fair_share(&topo, arrivals.iter().copied(), cfg).expect("fabric run")
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("end_to_end", "ecmp_srpt"),
+        &arrivals,
+        |b, arrivals| {
+            b.iter(|| {
+                simulate_ecmp(&topo, &mut Srpt::new(), arrivals.iter().copied(), cfg)
+                    .expect("fabric run")
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("end_to_end", "repflow"),
+        &arrivals,
+        |b, arrivals| {
+            b.iter(|| {
+                simulate_repflow(
+                    &topo,
+                    &mut RepFlow::default(),
+                    arrivals.iter().copied(),
+                    cfg,
+                )
+                .expect("fabric run")
+            })
+        },
+    );
+    group.finish();
+}
+
+/// One full RepFlow run on the bench fabric, reported as a replication
+/// effectiveness summary (the criterion group above measures cost; this
+/// measures what the races buy).
+fn print_replication_summary() {
+    let topo = bench_topology();
+    let horizon = SimTime::from_millis(20.0);
+    let cfg = SimConfig::builder().horizon(horizon).build();
+    let arrivals = arrivals_for(&topo, 0.8, horizon, 11);
+    let rep = simulate_repflow(
+        &topo,
+        &mut RepFlow::default(),
+        arrivals.iter().copied(),
+        cfg,
+    )
+    .expect("fabric run");
+    let s = &rep.stats;
+    let wins: Vec<f64> = rep
+        .completions
+        .iter()
+        .filter(|c| c.winner.is_some())
+        .map(|c| (c.base_fct - c.fct).as_secs() * 1e6)
+        .collect();
+    let mean_gain_us = wins.iter().sum::<f64>() / wins.len().max(1) as f64;
+    println!("\nreplication effectiveness (20 ms, 80% load, seed 11):");
+    println!(
+        "  flows {} | replicated {} | replica wins {} | mean FCT gain per win {:.1} us",
+        rep.run.arrivals, s.replicated_flows, s.replica_wins, mean_gain_us
+    );
+    println!(
+        "  replica bytes {} (winning {} / losing {} / racing {}) | cancelled primary bytes {}",
+        s.replica_bytes,
+        s.winning_replica_bytes,
+        s.losing_replica_bytes,
+        s.racing_replica_bytes,
+        s.cancelled_primary_bytes
+    );
+}
+
+criterion_group!(benches, bench_baseline_disciplines);
+
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    match basrpt_bench::write_merged(&results) {
+        Ok(path) => println!("recorded {} benchmark medians to {path}", results.len()),
+        Err(e) => eprintln!("could not write bench.json: {e}"),
+    }
+    print_replication_summary();
+}

@@ -5,20 +5,96 @@
 //!
 //! 1. the paper's setup — the fat-tree fabric under the measured traffic
 //!    pattern at ~92 % per-port load (9.2 Gbps of 10 Gbps), comparing SRPT
-//!    against the threshold strategy;
+//!    against the threshold strategy, with the max-min fair-share and
+//!    RepFlow replication baselines run under the same load for context;
 //! 2. a deterministic witness — the two-bottleneck starvation gadget where
 //!    SRPT's growth rate is analytically ~97 MB/s, removing any doubt that
 //!    part 1's growth is a transient.
 
 use basrpt_bench::{run_fabric, run_seeds, seeds_from_env, Scale, SeedStats};
-use basrpt_core::{Scheduler, Srpt, ThresholdBacklogSrpt};
-use dcn_fabric::{simulate, FatTree, SimConfig};
+use basrpt_core::{RepFlow, Scheduler, Srpt, ThresholdBacklogSrpt};
+use dcn_fabric::{simulate, simulate_fair_share, simulate_repflow, FabricRun, FatTree, SimConfig};
 use dcn_metrics::{StabilityVerdict, TextTable, TrendConfig};
 use dcn_types::SimTime;
-use dcn_workload::StarvationScript;
+use dcn_workload::{StarvationScript, TrafficSpec};
 
 /// The seed the recorded single-run numbers were produced with.
 const DEFAULT_SEED: u64 = 1;
+
+/// A stability row: one full engine run at (threshold, seed, horizon), so
+/// the comparison can include the non-crossbar fair-share and RepFlow
+/// baselines alongside the crossbar disciplines.
+type RunRow = fn(&FatTree, &TrafficSpec, u64, u64, SimTime) -> FabricRun;
+
+fn row_srpt(
+    topo: &FatTree,
+    spec: &TrafficSpec,
+    _thr: u64,
+    seed: u64,
+    horizon: SimTime,
+) -> FabricRun {
+    run_fabric(topo, spec, &mut Srpt::new(), seed, horizon)
+}
+
+fn row_threshold(
+    topo: &FatTree,
+    spec: &TrafficSpec,
+    thr: u64,
+    seed: u64,
+    horizon: SimTime,
+) -> FabricRun {
+    run_fabric(
+        topo,
+        spec,
+        &mut ThresholdBacklogSrpt::new(thr),
+        seed,
+        horizon,
+    )
+}
+
+fn row_fair_share(
+    topo: &FatTree,
+    spec: &TrafficSpec,
+    _thr: u64,
+    seed: u64,
+    horizon: SimTime,
+) -> FabricRun {
+    let cfg = SimConfig::builder().horizon(horizon).build();
+    simulate_fair_share(topo, spec.generator(seed).expect("valid spec"), cfg)
+        .expect("valid simulation")
+}
+
+fn row_repflow(
+    topo: &FatTree,
+    spec: &TrafficSpec,
+    _thr: u64,
+    seed: u64,
+    horizon: SimTime,
+) -> FabricRun {
+    let cfg = SimConfig::builder()
+        .horizon(horizon)
+        .enforce_core_capacity(true)
+        .build();
+    simulate_repflow(
+        topo,
+        &mut RepFlow::default(),
+        spec.generator(seed).expect("valid spec"),
+        cfg,
+    )
+    .expect("valid simulation")
+    .run
+}
+
+/// The part-1 comparison set: the paper's SRPT-vs-threshold pair plus the
+/// fair-share and RepFlow baselines under the same saturating load.
+fn stability_rows() -> Vec<(&'static str, RunRow)> {
+    vec![
+        ("SRPT", row_srpt),
+        ("threshold backlog-aware SRPT", row_threshold),
+        ("max-min fair share", row_fair_share),
+        ("RepFlow (<100 KB x2)", row_repflow),
+    ]
+}
 
 fn print_series(label: &str, series: &dcn_metrics::TimeSeries) {
     let s = series.downsample(12);
@@ -54,18 +130,8 @@ fn part1_seed_sweep(scale: Scale, seeds: &[u64]) {
         "throughput (Gbps)".into(),
         "leftover (GB)".into(),
     ]);
-    type Mk = fn(u64) -> Box<dyn Scheduler>;
-    let rows: Vec<(&str, Mk)> = vec![
-        ("SRPT", |_| Box::new(Srpt::new())),
-        ("threshold backlog-aware SRPT", |thr| {
-            Box::new(ThresholdBacklogSrpt::new(thr))
-        }),
-    ];
-    for (label, mk) in rows {
-        let runs = run_seeds(seeds, |seed| {
-            let mut sched = mk(threshold);
-            run_fabric(&topo, &spec, sched.as_mut(), seed, horizon)
-        });
+    for (label, row) in stability_rows() {
+        let runs = run_seeds(seeds, |seed| row(&topo, &spec, threshold, seed, horizon));
         let reports: Vec<_> = runs
             .iter()
             .map(|(_, run)| run.monitored_port_stability(TrendConfig::default()))
@@ -107,22 +173,18 @@ fn part1_measured_traffic(scale: Scale) {
         "leftover (GB)".into(),
     ]);
     let mut series = Vec::new();
-    let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(Srpt::new()),
-        Box::new(ThresholdBacklogSrpt::new(threshold)),
-    ];
-    for mut sched in schedulers {
-        let run = run_fabric(&topo, &spec, sched.as_mut(), DEFAULT_SEED, horizon);
+    for (label, row) in stability_rows() {
+        let run = row(&topo, &spec, threshold, DEFAULT_SEED, horizon);
         let st = run.monitored_port_stability(TrendConfig::default());
         table.add_row(vec![
-            sched.name().to_string(),
+            label.to_string(),
             st.verdict.to_string(),
             format!("{:+.1}", st.slope_per_sec / 1e6),
             format!("{:.0}", st.last_value / 1e6),
             format!("{:.1}", run.average_throughput().gbps()),
             format!("{:.2}", run.leftover_bytes.as_f64() / 1e9),
         ]);
-        series.push((sched.name().to_string(), run.monitored_port_backlog));
+        series.push((label.to_string(), run.monitored_port_backlog));
     }
     println!("{table}");
     println!("queue-length series (time:port-backlog):");

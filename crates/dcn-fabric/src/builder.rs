@@ -102,6 +102,108 @@ impl<'t, T: Topology + ?Sized> FabricSim<'t, T> {
             scheduler,
         }
     }
+
+    /// Selects max-min fair sharing instead of a scheduling discipline:
+    /// every active flow transmits simultaneously at its water-filled fair
+    /// rate (see [`crate::simulate_fair_share`]) — the "no scheduling"
+    /// baseline. Continue with [`workload`](FairShareSim::workload).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dcn_fabric::{FabricSim, FatTree, SimConfig};
+    /// use dcn_types::SimTime;
+    /// use dcn_workload::TrafficSpec;
+    ///
+    /// let topo = FatTree::scaled(2, 4, 1)?;
+    /// let spec = TrafficSpec::scaled(2, 4, 0.5)?;
+    /// let run = FabricSim::new(&topo)
+    ///     .config(SimConfig::builder().horizon(SimTime::from_secs(0.05)).build())
+    ///     .fair_share()
+    ///     .workload(spec.generator(7)?)
+    ///     .run()?;
+    /// assert_eq!(
+    ///     run.arrived_bytes,
+    ///     run.throughput.delivered() + run.leftover_bytes,
+    /// );
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn fair_share(self) -> FairShareSim<'t, T> {
+        FairShareSim {
+            topo: self.topo,
+            config: self.config,
+        }
+    }
+}
+
+/// Builder state for a max-min fair-share run (no scheduler); continue
+/// with [`workload`](FairShareSim::workload).
+#[must_use = "chain .workload(..).run() to simulate"]
+#[derive(Debug)]
+pub struct FairShareSim<'t, T: Topology + ?Sized = FatTree> {
+    topo: &'t T,
+    config: SimConfig,
+}
+
+impl<'t, T: Topology + ?Sized> FairShareSim<'t, T> {
+    /// Attaches the arrival stream: any time-ordered `FlowArrival`
+    /// iterator — a `dcn-workload` generator or a scripted `Vec`.
+    pub fn workload<G>(self, generator: G) -> FairShareSimReady<'t, G, NoProbe, T>
+    where
+        G: IntoIterator<Item = FlowArrival>,
+    {
+        FairShareSimReady {
+            topo: self.topo,
+            config: self.config,
+            generator,
+            probe: NoProbe,
+        }
+    }
+}
+
+/// Fully assembled fair-share simulation: [`run`](FairShareSimReady::run)
+/// it, optionally attaching an observer first with
+/// [`probe`](FairShareSimReady::probe).
+#[must_use = "call .run() to simulate"]
+#[derive(Debug)]
+pub struct FairShareSimReady<'t, G, P, T: Topology + ?Sized = FatTree> {
+    topo: &'t T,
+    config: SimConfig,
+    generator: G,
+    probe: P,
+}
+
+impl<'t, G, P, T> FairShareSimReady<'t, G, P, T>
+where
+    G: IntoIterator<Item = FlowArrival>,
+    P: Probe,
+    T: Topology + ?Sized,
+{
+    /// Attaches an observer of the event stream (replacing any previous
+    /// one).
+    pub fn probe<Q: Probe>(self, probe: Q) -> FairShareSimReady<'t, G, Q, T> {
+        FairShareSimReady {
+            topo: self.topo,
+            config: self.config,
+            generator: self.generator,
+            probe,
+        }
+    }
+
+    /// Runs the fair-share simulation to the configured horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadArrival`] under the same conditions as
+    /// [`crate::simulate`].
+    pub fn run(self) -> Result<FabricRun, FabricError> {
+        crate::fairshare::simulate_fair_share_probed(
+            self.topo,
+            self.generator,
+            self.config,
+            self.probe,
+        )
+    }
 }
 
 /// Builder state with a scheduler attached; continue with

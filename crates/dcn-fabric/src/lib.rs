@@ -43,15 +43,27 @@ mod builder;
 mod calendar;
 mod delta;
 mod engine;
+mod fairshare;
 mod online;
 pub mod reference;
+mod repflow;
 mod shard;
 mod topology;
 
-pub use builder::{FabricSim, FabricSimReady, FabricSimSched};
+pub use builder::{FabricSim, FabricSimReady, FabricSimSched, FairShareSim, FairShareSimReady};
 pub use calendar::CompletionCalendar;
 pub use delta::{DeltaAllocator, DeltaOutcome, DeltaStats, SettledDrain};
 pub use engine::{simulate, FabricError, FabricRun, SimConfig, SimConfigBuilder};
+pub use fairshare::{
+    simulate_fair_share, simulate_fair_share_probed, ConstraintSpec, FairShareAllocator,
+};
 pub use online::{Accepted, FabricSnapshot, OfferError, OnlineFabric, DEFAULT_HIGH_WATERMARK};
-pub use shard::{shards_from_env, simulate_sharded, CompletionRecord, ShardPlan, ShardedRun};
+pub use repflow::{
+    plane_of, simulate_ecmp, simulate_ecmp_probed, simulate_repflow, simulate_repflow_probed,
+    RepFlowCompletion, RepFlowRun, RepFlowStats,
+};
+pub use shard::{
+    shards_from_env, simulate_fair_share_sharded, simulate_sharded, CompletionRecord, ShardPlan,
+    ShardedRun,
+};
 pub use topology::{FatTree, KAryFatTree, KAryFatTreeBuilder, Topology, TopologyError};

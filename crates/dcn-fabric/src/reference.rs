@@ -106,3 +106,40 @@ pub fn simulate_full_rebuild_probed<T: Topology + ?Sized, S: Scheduler + ?Sized,
 ) -> Result<FabricRun, FabricError> {
     run_rebuild_with_probe(topo, scheduler, generator, config, probe)
 }
+
+/// Runs one max-min fair-share simulation with the **naive** `O(n²)`
+/// reference water-filler and the linear completion rescan — the
+/// differential-testing reference for
+/// [`simulate_fair_share`](crate::simulate_fair_share), which
+/// `tests/fairshare_differential.rs` pins bit-identical across seeds ×
+/// topologies × shard counts (see the `fairshare` module docs for the
+/// arithmetic contract that makes two genuinely different implementations
+/// agree to the last bit).
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_fair_share_naive<T: Topology + ?Sized>(
+    topo: &T,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+) -> Result<FabricRun, FabricError> {
+    crate::fairshare::run_fair_share_naive(topo, generator, config, NoProbe)
+}
+
+/// Probe-instrumented variant of [`simulate_fair_share_naive`], for
+/// differential tests that compare full event streams.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_fair_share_naive_probed<T: Topology + ?Sized, P: Probe>(
+    topo: &T,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+) -> Result<FabricRun, FabricError> {
+    crate::fairshare::run_fair_share_naive(topo, generator, config, probe)
+}

@@ -1,0 +1,944 @@
+//! ECMP plane assignment and RepFlow-style short-flow replication.
+//!
+//! The multi-path [`Topology`] exposes `core_planes` independent core
+//! planes (a k-ary fat-tree has `k/2`). This module models them:
+//!
+//! * [`simulate_ecmp`] — single-path routing: every inter-rack flow is
+//!   hashed onto one plane ([`plane_of`], FNV-1a over the flow id — the
+//!   deterministic stand-in for ECMP's five-tuple hash) and the matching
+//!   engine's core filter is enforced **per plane** (each plane carries
+//!   `uplink / planes` of a rack's budget). Hash collisions can reject a
+//!   flow even when another plane is idle — exactly the ECMP pathology
+//!   RepFlow exploits.
+//! * [`simulate_repflow`] — the RepFlow discipline (Xu & Li): flows
+//!   shorter than the [`RepFlow`] threshold additionally place one
+//!   replica on an alternate plane whenever their primary plane is
+//!   saturated, and the **first copy to finish wins**. Replication is
+//!   opportunistic and subordinate: a replica transmits only in intervals
+//!   where its flow was crossbar-matched but plane-rejected (the NICs are
+//!   provably idle then), and replicas consume only budget left over
+//!   after every single-path admission — so the base trajectory of a
+//!   RepFlow run is **bit-identical** to the [`simulate_ecmp`] run of the
+//!   same workload. That gives the dominance property
+//!   `tests/repflow_props.rs` pins: every flow's RepFlow FCT is ≤ its
+//!   single-path FCT, with equality on one-plane topologies.
+//!
+//! Byte accounting for the race is exact ([`RepFlowStats`]): every copy's
+//! transmitted bytes ride the same epoch-anchored arithmetic as the base
+//! engine, the winning copy accounts the flow's full size, and the
+//! cancelled copies' bytes (including everything the primary transmits
+//! after losing — the engine cancels lazily, a conservative model of
+//! RepFlow's transport-level cutoff) are tallied to the last byte.
+
+use crate::engine::{
+    validate_arrival, CalendarLookup, CompletionLookup, FabricError, FabricRun, FlowMeta,
+    ScheduledEntry, SimConfig,
+};
+use crate::topology::Topology;
+use basrpt_core::{FlowState, FlowTable, RepFlow, Scheduler};
+use dcn_metrics::{FctRecorder, SizeBucketRecorder, ThroughputMeter};
+use dcn_probe::{
+    ArrivalEvent, BacklogSampler, CompletionEvent, DecisionEvent, DrainEvent, Fanout, NoProbe,
+    Probe, SampleEvent,
+};
+use dcn_types::{Bytes, FlowId, PlaneId, Rate, SimTime, Voq};
+use dcn_workload::FlowArrival;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The plane an inter-rack flow is hashed onto: FNV-1a over the flow id,
+/// modulo the plane count — the deterministic stand-in for ECMP's
+/// five-tuple hash (a flow's packets all ride one path).
+///
+/// # Panics
+///
+/// Panics if `planes` is zero.
+///
+/// # Example
+///
+/// ```
+/// use dcn_fabric::plane_of;
+/// use dcn_types::FlowId;
+///
+/// let p = plane_of(FlowId::new(7), 4);
+/// assert!(p.index() < 4);
+/// assert_eq!(p, plane_of(FlowId::new(7), 4), "deterministic");
+/// ```
+pub fn plane_of(flow: FlowId, planes: u32) -> PlaneId {
+    assert!(planes > 0, "a fabric has at least one core plane");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in flow.raw().to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    PlaneId::new((h % u64::from(planes)) as u32)
+}
+
+/// Per-(rack, plane) uplink/downlink budgets for one scheduling decision.
+struct PlaneBudgets {
+    edge: f64,
+    /// Budget of one plane: `rack_uplink_capacity / planes`.
+    plane_cap: f64,
+    planes: usize,
+    up_used: Vec<f64>,
+    down_used: Vec<f64>,
+}
+
+impl PlaneBudgets {
+    fn new<T: Topology + ?Sized>(topo: &T) -> Self {
+        let planes = topo.core_planes().max(1) as usize;
+        let racks = topo.num_racks() as usize;
+        PlaneBudgets {
+            edge: topo.edge_rate().bytes_per_sec(),
+            plane_cap: topo.rack_uplink_capacity().bytes_per_sec() / planes as f64,
+            planes,
+            up_used: vec![0.0; racks * planes],
+            down_used: vec![0.0; racks * planes],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.up_used.fill(0.0);
+        self.down_used.fill(0.0);
+    }
+
+    /// Admits one flow onto `plane` if both its rack budgets have room
+    /// (same tolerance as the aggregate core filter); charges them on
+    /// success.
+    fn admit(&mut self, src_rack: usize, dst_rack: usize, plane: PlaneId) -> bool {
+        let up = src_rack * self.planes + plane.as_usize();
+        let down = dst_rack * self.planes + plane.as_usize();
+        // Tolerance absorbs f64 accumulation when the budget divides evenly.
+        if self.up_used[up] + self.edge <= self.plane_cap * (1.0 + 1e-9)
+            && self.down_used[down] + self.edge <= self.plane_cap * (1.0 + 1e-9)
+        {
+            self.up_used[up] += self.edge;
+            self.down_used[down] += self.edge;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One copy of a replicated flow on an alternate plane, with the same
+/// epoch-anchored drain arithmetic as a `ScheduledEntry`.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaCopy {
+    plane: PlaneId,
+    /// Bytes this copy has transmitted (settled across all its epochs).
+    sent: u64,
+    active: bool,
+    epoch: SimTime,
+    epoch_start_sent: u64,
+    completes_at: SimTime,
+}
+
+impl ReplicaCopy {
+    fn idle(plane: PlaneId) -> Self {
+        ReplicaCopy {
+            plane,
+            sent: 0,
+            active: false,
+            epoch: SimTime::ZERO,
+            epoch_start_sent: 0,
+            completes_at: SimTime::INFINITY,
+        }
+    }
+
+    /// (Re)opens a transmission epoch at `now`; keeps the current epoch if
+    /// the copy is already transmitting (its completion instant must not
+    /// drift across reschedules that keep it selected).
+    fn select(&mut self, now: SimTime, size: u64, rate: Rate) {
+        if self.active {
+            return;
+        }
+        self.active = true;
+        self.epoch = now;
+        self.epoch_start_sent = self.sent;
+        self.completes_at = now + rate.transfer_time(Bytes::new(size - self.sent));
+    }
+
+    /// Settles the copy's account at instant `t` and closes its epoch.
+    fn deselect(&mut self, t: SimTime, size: u64, rate: Rate) {
+        if !self.active {
+            return;
+        }
+        self.sent = self.epoch_start_sent + self.target_at(t, size, rate);
+        self.active = false;
+        self.completes_at = SimTime::INFINITY;
+    }
+
+    /// Bytes owed since the epoch by instant `t` — the `ScheduledEntry`
+    /// arithmetic: one conversion of the elapsed time, forced exact at the
+    /// analytic completion instant.
+    fn target_at(&self, t: SimTime, size: u64, rate: Rate) -> u64 {
+        let epoch_remaining = size - self.epoch_start_sent;
+        if t >= self.completes_at {
+            epoch_remaining
+        } else {
+            rate.bytes_in(t - self.epoch).as_u64().min(epoch_remaining)
+        }
+    }
+}
+
+/// The replication race of one short inter-rack flow.
+#[derive(Debug)]
+struct RaceState {
+    size: u64,
+    primary_plane: PlaneId,
+    copies: Vec<ReplicaCopy>,
+    /// `Some((plane, instant))` once a replica finished first.
+    replica_won: Option<(PlaneId, SimTime)>,
+    /// The race is over: a replica won, or the primary completed.
+    closed: bool,
+}
+
+/// One completed flow of a RepFlow (or ECMP) run, with both race
+/// outcomes: the recorded first-copy FCT and the single-path FCT the
+/// primary alone would have scored. `fct ≤ base_fct` always;
+/// `fct == base_fct` exactly unless a replica won.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepFlowCompletion {
+    /// The completed flow.
+    pub flow: FlowId,
+    /// The VOQ the flow occupied.
+    pub voq: Voq,
+    /// The flow's size.
+    pub size: Bytes,
+    /// Whether the flow was eligible for replication (short, inter-rack,
+    /// 2+ planes) and raced replicas.
+    pub replicated: bool,
+    /// The recorded FCT: first copy to finish (includes any configured
+    /// base latency).
+    pub fct: SimTime,
+    /// The single-path FCT of the primary copy — bit-identical to what
+    /// [`simulate_ecmp`] records for this flow.
+    pub base_fct: SimTime,
+    /// The plane of the winning replica, or `None` when the primary won.
+    pub winner: Option<PlaneId>,
+}
+
+/// Exact byte accounting of the replication races of one run.
+///
+/// Every field is an exact `u64` tally; the identity
+/// `replica_bytes == winning_replica_bytes + losing_replica_bytes +
+/// racing_replica_bytes` holds to the byte (pinned by
+/// `tests/conservation.rs`), and the base run's own conservation
+/// (`arrived == delivered + leftover`) is untouched by replication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepFlowStats {
+    /// Flows that raced replicas (short, inter-rack, 2+ planes).
+    pub replicated_flows: usize,
+    /// Races a replica won.
+    pub replica_wins: usize,
+    /// Total bytes transmitted by replica copies.
+    pub replica_bytes: Bytes,
+    /// Bytes of winning replica copies (the full size of each
+    /// replica-won flow).
+    pub winning_replica_bytes: Bytes,
+    /// Bytes transmitted by replica copies that lost their race —
+    /// cancelled work on the alternate plane.
+    pub losing_replica_bytes: Bytes,
+    /// Bytes of replica copies whose race was still open at the horizon.
+    pub racing_replica_bytes: Bytes,
+    /// Bytes the primary transmitted *after* a replica had already won —
+    /// the cancelled-copy cost of lazy cancellation on the primary path.
+    pub cancelled_primary_bytes: Bytes,
+}
+
+/// The measurements of one RepFlow run: the merged [`FabricRun`] (FCTs
+/// are first-copy-completes), the per-flow completion log with both race
+/// outcomes, and the exact replica byte accounting.
+#[derive(Debug, Clone)]
+pub struct RepFlowRun {
+    /// The run measurements. `fct`/`fct_by_size` record the
+    /// first-copy-completes FCT of every flow whose primary finished
+    /// within the horizon; counts, byte totals and series keep the base
+    /// (primary-path) semantics, so conservation identities are unchanged.
+    pub run: FabricRun,
+    /// Every completed flow, in completion order.
+    pub completions: Vec<RepFlowCompletion>,
+    /// The replication-race byte accounting.
+    pub stats: RepFlowStats,
+}
+
+/// Runs one single-path (ECMP-hashed) simulation: like [`crate::simulate`]
+/// but the core filter is enforced **per plane** — each inter-rack flow
+/// rides only its [`plane_of`] plane, which carries `1/planes` of the
+/// rack uplink budget. On a one-plane topology this is bit-identical to
+/// [`crate::simulate`] with the aggregate filter.
+///
+/// This is the single-path baseline RepFlow is measured against; the
+/// plane filter only matters when core capacity is enforced
+/// (oversubscribed topologies or [`SimConfig::enforce_core_capacity`]).
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_ecmp<T: Topology + ?Sized, S: Scheduler + ?Sized>(
+    topo: &T,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+) -> Result<FabricRun, FabricError> {
+    simulate_ecmp_probed(topo, scheduler, generator, config, NoProbe)
+}
+
+/// Probe-instrumented variant of [`simulate_ecmp`], for differential
+/// tests that compare full event streams.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_ecmp_probed<T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe>(
+    topo: &T,
+    scheduler: &mut S,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+) -> Result<FabricRun, FabricError> {
+    run_repflow_loop(topo, scheduler, None, generator, config, probe).map(|r| r.run)
+}
+
+/// Runs one RepFlow simulation: single-path ECMP routing plus replication
+/// of short flows (shorter than the [`RepFlow`] discipline's threshold)
+/// onto alternate core planes with first-copy-completes semantics — see
+/// the module docs for the model and its dominance guarantee.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+///
+/// # Example
+///
+/// ```
+/// use basrpt_core::RepFlow;
+/// use dcn_fabric::{simulate_repflow, KAryFatTree, SimConfig};
+/// use dcn_types::SimTime;
+/// use dcn_workload::TrafficSpec;
+///
+/// // Two core planes, oversubscribed so the plane filter binds.
+/// let topo = KAryFatTree::builder(4).oversubscription(2.0).build()?;
+/// let spec = TrafficSpec::scaled(8, 2, 0.5)?;
+/// let out = simulate_repflow(
+///     &topo,
+///     &mut RepFlow::default(),
+///     spec.generator(7)?.take(100),
+///     SimConfig::builder().horizon(SimTime::from_secs(0.05)).build(),
+/// )?;
+/// for c in &out.completions {
+///     assert!(c.fct <= c.base_fct, "first copy can only help");
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate_repflow<T: Topology + ?Sized>(
+    topo: &T,
+    discipline: &mut RepFlow,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+) -> Result<RepFlowRun, FabricError> {
+    simulate_repflow_probed(topo, discipline, generator, config, NoProbe)
+}
+
+/// Probe-instrumented variant of [`simulate_repflow`]. Probe events
+/// describe the base (primary-path) trajectory; replica transmissions are
+/// reported only through [`RepFlowStats`].
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`].
+pub fn simulate_repflow_probed<T: Topology + ?Sized, P: Probe>(
+    topo: &T,
+    discipline: &mut RepFlow,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+) -> Result<RepFlowRun, FabricError> {
+    let threshold = discipline.threshold();
+    run_repflow_loop(topo, discipline, Some(threshold), generator, config, probe)
+}
+
+/// The plane-aware event loop behind [`simulate_ecmp`] and
+/// [`simulate_repflow`]: the matching engine's loop (same event ordering,
+/// same epoch accounting) with the per-plane core filter, plus — when
+/// `replicate` carries a threshold — the replica layer described in the
+/// module docs. Replicas never influence base admissions, so the
+/// `replicate: None` and `replicate: Some(_)` base trajectories are
+/// bit-identical.
+#[allow(clippy::too_many_lines)]
+fn run_repflow_loop<T, S, P>(
+    topo: &T,
+    scheduler: &mut S,
+    replicate: Option<u64>,
+    generator: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    probe: P,
+) -> Result<RepFlowRun, FabricError>
+where
+    T: Topology + ?Sized,
+    S: Scheduler + ?Sized,
+    P: Probe,
+{
+    let mut generator = generator.into_iter();
+    let edge_rate = topo.edge_rate();
+    let enforce_core = config.enforce_core_capacity || !topo.is_full_bisection();
+    let planes = topo.core_planes().max(1);
+    let mut budgets = PlaneBudgets::new(topo);
+    let mut lookup = CalendarLookup::default();
+
+    let mut table = FlowTable::new();
+    let mut meta: HashMap<FlowId, FlowMeta> = HashMap::new();
+    let mut entries: Vec<ScheduledEntry> = Vec::new();
+    let mut carry: HashMap<FlowId, ScheduledEntry> = HashMap::new();
+
+    // Replication races, keyed by flow. Empty for ECMP runs.
+    let mut races: HashMap<FlowId, RaceState> = HashMap::new();
+    let mut stats = RepFlowStats::default();
+    let mut completions_log: Vec<RepFlowCompletion> = Vec::new();
+
+    let mut fct = FctRecorder::new();
+    let mut fct_by_size = SizeBucketRecorder::pfabric_buckets();
+    let mut throughput = ThroughputMeter::new();
+    let mut sampler = BacklogSampler::new(config.monitored_port);
+    let mut fan = Fanout::new(&mut sampler, probe);
+    let mut arrivals_count = 0usize;
+    let mut completions_count = 0usize;
+    let mut arrived_bytes = Bytes::ZERO;
+    let mut reschedules = 0u64;
+
+    let mut clock = SimTime::ZERO;
+    let mut next_sample = SimTime::ZERO;
+    let mut next_arrival = generator.next();
+    let mut last_arrival_time = SimTime::ZERO;
+
+    loop {
+        let t_arrival = next_arrival.as_ref().map_or(SimTime::INFINITY, |a| a.time);
+        let t_completion = lookup.next_completion(&entries);
+        let t = t_arrival
+            .min(t_completion)
+            .min(next_sample)
+            .min(config.horizon);
+
+        // --- resolve replica wins up to t (their completion instants are
+        //     analytic, so they are processed lazily at the next event;
+        //     the win cannot change the base trajectory) ---
+        let mut wins: Vec<(SimTime, FlowId)> = Vec::new();
+        for (&id, race) in races.iter() {
+            if race.closed {
+                continue;
+            }
+            if let Some(w) = race
+                .copies
+                .iter()
+                .filter(|c| c.active)
+                .map(|c| c.completes_at)
+                .min()
+            {
+                if w <= t {
+                    wins.push((w, id));
+                }
+            }
+        }
+        wins.sort_unstable_by(|a, b| a.0.as_secs().total_cmp(&b.0.as_secs()).then(a.1.cmp(&b.1)));
+        for (w, id) in wins {
+            let race = races.get_mut(&id).expect("race exists");
+            let size = race.size;
+            // Lowest plane wins ties (copies are in ascending plane order).
+            let winner = race
+                .copies
+                .iter()
+                .filter(|c| c.active && c.completes_at <= w)
+                .map(|c| c.plane)
+                .next()
+                .expect("a copy completed");
+            for copy in &mut race.copies {
+                // Freeze the race at the win instant: siblings keep only
+                // the bytes they moved before w.
+                copy.deselect(w, size, edge_rate);
+            }
+            race.replica_won = Some((winner, w));
+            race.closed = true;
+            stats.replica_wins += 1;
+        }
+
+        // --- advance: settle every scheduled flow's account at t ---
+        let elapsed = t - clock;
+        let mut completed_any = false;
+        if elapsed > SimTime::ZERO {
+            let mut i = 0;
+            while i < entries.len() {
+                let entry = &mut entries[i];
+                let target = entry.target_at(t, edge_rate);
+                let amount = target - entry.settled;
+                if amount == 0 {
+                    i += 1;
+                    continue;
+                }
+                entry.settled = target;
+                let (id, voq) = (entry.flow, entry.voq);
+                let outcome = table.drain(id, amount).expect("scheduled flow is active");
+                debug_assert_eq!(outcome.drained, amount, "exact drain cannot be short");
+                throughput.deliver(Bytes::new(outcome.drained));
+                // Everything the primary moves after losing its race is
+                // cancelled work (the primary is never scheduled while a
+                // replica transmits, so these drains all postdate the win).
+                if races.get(&id).is_some_and(|r| r.replica_won.is_some()) {
+                    stats.cancelled_primary_bytes += Bytes::new(outcome.drained);
+                }
+                fan.on_drain(&DrainEvent {
+                    time: t.as_secs(),
+                    flow: id,
+                    voq,
+                    amount: outcome.drained,
+                });
+                if outcome.completed.is_some() {
+                    let info = meta.remove(&id).expect("active flow has metadata");
+                    let base_fct = t - info.arrival + config.base_latency;
+                    // First copy to finish sets the recorded FCT.
+                    let (flow_fct, replicated, winner) = match races.remove(&id) {
+                        Some(mut race) => {
+                            let outcome = if let Some((plane, w)) = race.replica_won {
+                                (w - info.arrival + config.base_latency, true, Some(plane))
+                            } else {
+                                // The primary finished first: the race is
+                                // over and the copies' bytes are cancelled.
+                                for copy in &mut race.copies {
+                                    copy.deselect(t, race.size, edge_rate);
+                                }
+                                race.closed = true;
+                                (base_fct, true, None)
+                            };
+                            retire_race(&race, &mut stats);
+                            outcome
+                        }
+                        None => (base_fct, false, None),
+                    };
+                    fct.record(info.class, info.size, flow_fct);
+                    fct_by_size.record(info.size, flow_fct);
+                    completions_log.push(RepFlowCompletion {
+                        flow: id,
+                        voq,
+                        size: info.size,
+                        replicated,
+                        fct: flow_fct,
+                        base_fct,
+                        winner,
+                    });
+                    fan.on_completion(&CompletionEvent {
+                        time: t.as_secs(),
+                        flow: id,
+                        voq,
+                        size: info.size.as_u64(),
+                        fct: flow_fct.as_secs(),
+                    });
+                    completions_count += 1;
+                    completed_any = true;
+                    entries.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        clock = t;
+
+        if clock >= config.horizon {
+            break;
+        }
+
+        // --- arrivals landing at (or before) the current instant ---
+        let mut arrived_any = false;
+        while let Some(arrival) = next_arrival.as_ref() {
+            if arrival.time > clock {
+                break;
+            }
+            let arrival = *next_arrival.as_ref().expect("checked above");
+            validate_arrival(topo, &arrival, last_arrival_time)?;
+            last_arrival_time = arrival.time;
+            table
+                .insert(FlowState::new(
+                    arrival.id,
+                    arrival.voq,
+                    arrival.size.as_u64(),
+                ))
+                .map_err(|e| FabricError::BadArrival(e.to_string()))?;
+            meta.insert(
+                arrival.id,
+                FlowMeta {
+                    class: arrival.class,
+                    size: arrival.size,
+                    arrival: arrival.time,
+                },
+            );
+            // Open a replication race for short inter-rack flows when the
+            // fabric has alternate planes and an enforced core.
+            if let Some(threshold) = replicate {
+                if enforce_core
+                    && planes >= 2
+                    && arrival.size.as_u64() < threshold
+                    && !topo.is_intra_rack(arrival.voq)
+                {
+                    let primary = plane_of(arrival.id, planes);
+                    let copies = (0..planes)
+                        .map(PlaneId::new)
+                        .filter(|&p| p != primary)
+                        .map(ReplicaCopy::idle)
+                        .collect();
+                    races.insert(
+                        arrival.id,
+                        RaceState {
+                            size: arrival.size.as_u64(),
+                            primary_plane: primary,
+                            copies,
+                            replica_won: None,
+                            closed: false,
+                        },
+                    );
+                    stats.replicated_flows += 1;
+                }
+            }
+            arrivals_count += 1;
+            arrived_bytes += arrival.size;
+            arrived_any = true;
+            fan.on_arrival(&ArrivalEvent {
+                time: arrival.time.as_secs(),
+                flow: arrival.id,
+                voq: arrival.voq,
+                size: arrival.size.as_u64(),
+            });
+            next_arrival = generator.next();
+        }
+
+        // --- sampling (after same-instant arrivals) ---
+        if next_sample <= clock {
+            fan.on_sample(&SampleEvent {
+                time: clock.as_secs(),
+                table: &table,
+                delivered: throughput.delivered().as_f64(),
+            });
+            next_sample += config.sample_every;
+        }
+
+        // --- reschedule on arrival or completion ---
+        if arrived_any || completed_any {
+            let started = fan.wants_decision_timing().then(Instant::now);
+            let schedule = scheduler.schedule(&table);
+            let latency = started.map(|s| s.elapsed());
+            fan.on_decision(&DecisionEvent {
+                time: clock.as_secs(),
+                schedule: &schedule,
+                latency,
+            });
+            carry.clear();
+            carry.extend(entries.drain(..).map(|e| (e.flow, e)));
+            let admit = |id: FlowId,
+                         voq: Voq,
+                         entries: &mut Vec<ScheduledEntry>,
+                         table: &FlowTable,
+                         carry: &mut HashMap<FlowId, ScheduledEntry>| {
+                entries.push(carry.remove(&id).unwrap_or_else(|| {
+                    let remaining = table.get(id).expect("scheduled flow is active").remaining();
+                    ScheduledEntry::new(id, voq, clock, remaining, edge_rate)
+                }));
+            };
+            // Pass 1 — base admissions on each flow's own plane, in
+            // schedule priority order (identical for ECMP and RepFlow).
+            let mut rejected: Vec<(FlowId, Voq)> = Vec::new();
+            if enforce_core {
+                budgets.reset();
+                for (id, voq) in schedule.iter() {
+                    if topo.is_intra_rack(voq) {
+                        admit(id, voq, &mut entries, &table, &mut carry);
+                        continue;
+                    }
+                    let src_rack = topo.rack_of(voq.src()).as_usize();
+                    let dst_rack = topo.rack_of(voq.dst()).as_usize();
+                    if budgets.admit(src_rack, dst_rack, plane_of(id, planes)) {
+                        admit(id, voq, &mut entries, &table, &mut carry);
+                    } else {
+                        rejected.push((id, voq));
+                    }
+                }
+            } else {
+                for (id, voq) in schedule.iter() {
+                    admit(id, voq, &mut entries, &table, &mut carry);
+                }
+            }
+            // Pass 2 — replicas: a matched-but-rejected short flow may
+            // ride the residual budget of an alternate plane (its NICs
+            // are idle — the matching reserved them and the plane filter
+            // declined). Priority order again, so replica-replica
+            // contention is deterministic.
+            let mut selected: HashMap<FlowId, PlaneId> = HashMap::new();
+            for &(id, voq) in &rejected {
+                let Some(race) = races.get(&id) else { continue };
+                if race.closed {
+                    continue;
+                }
+                let src_rack = topo.rack_of(voq.src()).as_usize();
+                let dst_rack = topo.rack_of(voq.dst()).as_usize();
+                for copy in &race.copies {
+                    if budgets.admit(src_rack, dst_rack, copy.plane) {
+                        selected.insert(id, copy.plane);
+                        break;
+                    }
+                }
+            }
+            // Apply the replica selection: open epochs for the selected
+            // copies, settle-and-close everyone else's.
+            for (&id, race) in races.iter_mut() {
+                if race.closed {
+                    continue;
+                }
+                let want = selected.get(&id).copied();
+                let size = race.size;
+                for copy in &mut race.copies {
+                    if want == Some(copy.plane) {
+                        copy.select(clock, size, edge_rate);
+                    } else {
+                        copy.deselect(clock, size, edge_rate);
+                    }
+                }
+            }
+            reschedules += 1;
+            lookup.on_reschedule(&entries);
+        }
+    }
+    drop(fan);
+    let series = sampler.into_series();
+
+    // Races still on the books at the horizon: settle every copy and
+    // tally its bytes as racing (open races) or won/lost (a replica won
+    // but the primary never finished draining).
+    for (_, mut race) in races.drain() {
+        let size = race.size;
+        for copy in &mut race.copies {
+            copy.deselect(config.horizon, size, edge_rate);
+        }
+        retire_race(&race, &mut stats);
+    }
+
+    let run = FabricRun {
+        fct,
+        fct_by_size,
+        throughput,
+        total_backlog: series.total_backlog,
+        monitored_port_backlog: series.monitored_port_backlog,
+        max_port_backlog: series.max_port_backlog,
+        cumulative_delivered: series.cumulative_delivered,
+        arrivals: arrivals_count,
+        completions: completions_count,
+        arrived_bytes,
+        leftover_bytes: Bytes::new(table.total_backlog()),
+        leftover_flows: table.len(),
+        reschedules,
+        horizon: config.horizon,
+    };
+    Ok(RepFlowRun {
+        run,
+        completions: completions_log,
+        stats,
+    })
+}
+
+/// Tallies the exact byte account of one finished (or horizon-cut) race.
+fn retire_race(race: &RaceState, stats: &mut RepFlowStats) {
+    for copy in &race.copies {
+        stats.replica_bytes += Bytes::new(copy.sent);
+        match race.replica_won {
+            Some((plane, _)) if plane == copy.plane => {
+                debug_assert_eq!(copy.sent, race.size, "the winner moved the whole flow");
+                stats.winning_replica_bytes += Bytes::new(copy.sent);
+            }
+            _ if race.closed => stats.losing_replica_bytes += Bytes::new(copy.sent),
+            _ => stats.racing_replica_bytes += Bytes::new(copy.sent),
+        }
+    }
+    // The primary plane is part of the race but its bytes live in the
+    // base run's throughput; only its post-win drains are tallied (see
+    // `cancelled_primary_bytes`), so nothing to do here for it.
+    let _ = race.primary_plane;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, FatTree, KAryFatTree};
+    use basrpt_core::Srpt;
+    use dcn_types::{FlowClass, HostId};
+
+    fn arrival(id: u64, t: f64, src: u32, dst: u32, size: u64) -> FlowArrival {
+        FlowArrival {
+            id: FlowId::new(id),
+            time: SimTime::from_secs(t),
+            voq: Voq::new(HostId::new(src), HostId::new(dst)),
+            size: Bytes::new(size),
+            class: FlowClass::Background,
+        }
+    }
+
+    fn config(horizon_secs: f64) -> SimConfig {
+        SimConfig::builder()
+            .horizon(SimTime::from_secs(horizon_secs))
+            .enforce_core_capacity(true)
+            .build()
+    }
+
+    #[test]
+    fn plane_hash_is_deterministic_and_in_range() {
+        for id in 0..1000u64 {
+            let p = plane_of(FlowId::new(id), 3);
+            assert!(p.index() < 3);
+            assert_eq!(p, plane_of(FlowId::new(id), 3));
+        }
+        // And not degenerate: all three planes are hit.
+        let mut seen = [false; 3];
+        for id in 0..1000u64 {
+            seen[plane_of(FlowId::new(id), 3).as_usize()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn one_plane_ecmp_matches_aggregate_filter_bitwise() {
+        // FatTree::scaled(2, 8, 1): one core plane, oversubscribed — the
+        // per-plane filter degenerates to the aggregate one.
+        let topo = FatTree::scaled(2, 8, 1).unwrap();
+        assert_eq!(topo.core_planes(), 1);
+        let flows: Vec<FlowArrival> = (0..8)
+            .map(|i| arrival(i, 0.0001 * i as f64, i as u32, 8 + i as u32, 500_000))
+            .collect();
+        let cfg = config(0.05);
+        let a = simulate(&topo, &mut Srpt::new(), flows.clone(), cfg).unwrap();
+        let b = simulate_ecmp(&topo, &mut Srpt::new(), flows, cfg).unwrap();
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.throughput.delivered(), b.throughput.delivered());
+        assert_eq!(a.total_backlog, b.total_backlog);
+        let (sa, sb) = (
+            a.fct.summary(FlowClass::Background).unwrap(),
+            b.fct.summary(FlowClass::Background).unwrap(),
+        );
+        assert_eq!(sa.mean_secs.to_bits(), sb.mean_secs.to_bits());
+        assert_eq!(sa.max_secs.to_bits(), sb.max_secs.to_bits());
+    }
+
+    #[test]
+    fn repflow_base_trajectory_matches_ecmp_bitwise() {
+        // 2:1 oversubscribed, two planes of one edge-rate flow each — the
+        // plane filter binds (hash collisions reject) without starving.
+        let topo = KAryFatTree::builder(4)
+            .hosts_per_edge(4)
+            .oversubscription(2.0)
+            .build()
+            .unwrap();
+        assert!(topo.core_planes() >= 2);
+        let flows: Vec<FlowArrival> = (0..24)
+            .map(|i| {
+                arrival(
+                    i,
+                    0.00002 * i as f64,
+                    (i % 8) as u32,
+                    (8 + (i * 3) % 24) as u32,
+                    30_000 + 10_000 * (i % 5),
+                )
+            })
+            .collect();
+        let cfg = config(0.02);
+        let ecmp = simulate_ecmp(&topo, &mut Srpt::new(), flows.clone(), cfg).unwrap();
+        let rep = simulate_repflow(&topo, &mut RepFlow::new(100_000), flows, cfg).unwrap();
+        // Base observables are bit-identical: replicas never affect the
+        // primary path.
+        assert_eq!(rep.run.completions, ecmp.completions);
+        assert_eq!(rep.run.arrived_bytes, ecmp.arrived_bytes);
+        assert_eq!(rep.run.leftover_bytes, ecmp.leftover_bytes);
+        assert_eq!(rep.run.throughput.delivered(), ecmp.throughput.delivered());
+        assert_eq!(rep.run.total_backlog, ecmp.total_backlog);
+        assert_eq!(rep.run.cumulative_delivered, ecmp.cumulative_delivered);
+        assert!(rep.run.completions > 0, "non-vacuous: flows must finish");
+        // And every per-flow FCT dominates.
+        for c in &rep.completions {
+            assert!(
+                c.fct <= c.base_fct,
+                "{}: {} > {}",
+                c.flow,
+                c.fct.as_secs(),
+                c.base_fct.as_secs()
+            );
+            if !c.replicated {
+                assert_eq!(c.fct.as_secs().to_bits(), c.base_fct.as_secs().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn replica_wins_when_primary_plane_is_jammed() {
+        // Two planes, 10 Gbps budget each (uplink 20 Gbps): one flow per
+        // plane per direction. SRPT protects the shortest flow, so the
+        // only way a replicable flow gets plane-rejected is a stream of
+        // even-shorter flows hogging its hashed plane: three 30 KB flows
+        // (one VOQ, back to back, 24 µs each) hold plane 0 for 72 µs
+        // while the 50 KB victim's replica rides plane 1 and finishes in
+        // 40 µs — before the primary plane ever frees up.
+        let topo = KAryFatTree::builder(4).hosts_per_edge(2).build().unwrap();
+        assert_eq!(topo.core_planes(), 2);
+        // Four flow ids all hashed onto plane 0.
+        let ids: Vec<u64> = (0u64..)
+            .filter(|&i| plane_of(FlowId::new(i), 2) == PlaneId::new(0))
+            .take(4)
+            .collect();
+        let victim = ids[3];
+        let flows = vec![
+            arrival(ids[0], 0.0, 0, 2, 30_000),
+            arrival(ids[1], 0.0, 0, 2, 30_000),
+            arrival(ids[2], 0.0, 0, 2, 30_000),
+            arrival(victim, 0.0, 1, 4, 50_000),
+        ];
+        let cfg = SimConfig::builder()
+            .horizon(SimTime::from_secs(0.05))
+            .enforce_core_capacity(true)
+            .build();
+        let rep = simulate_repflow(&topo, &mut RepFlow::new(60_000), flows, cfg).unwrap();
+        assert_eq!(rep.stats.replicated_flows, 4, "all four are short");
+        assert_eq!(rep.stats.replica_wins, 1, "the victim's replica wins");
+        let short = rep
+            .completions
+            .iter()
+            .find(|c| c.flow == FlowId::new(victim))
+            .expect("victim completes");
+        assert_eq!(short.winner, Some(PlaneId::new(1)));
+        // Replica: 50 KB at 10 Gbps from t=0 → 40 µs. Primary: plane 0
+        // frees at 72 µs → base FCT 112 µs.
+        assert_eq!(short.fct, SimTime::from_micros(40.0));
+        assert!((short.base_fct.as_secs() - 112e-6).abs() < 1e-12);
+        // The winning replica moved the whole flow; the primary's
+        // post-win bytes are tallied as cancelled.
+        assert_eq!(rep.stats.winning_replica_bytes, Bytes::new(50_000));
+        assert_eq!(rep.stats.cancelled_primary_bytes, Bytes::new(50_000));
+        // Exact replica accounting identity; the jammers' replicas never
+        // transmitted (their primaries were always admitted).
+        assert_eq!(rep.stats.losing_replica_bytes, Bytes::ZERO);
+        assert_eq!(rep.stats.racing_replica_bytes, Bytes::ZERO);
+        assert_eq!(
+            rep.stats.replica_bytes,
+            rep.stats.winning_replica_bytes
+                + rep.stats.losing_replica_bytes
+                + rep.stats.racing_replica_bytes
+        );
+    }
+
+    #[test]
+    fn full_bisection_disables_replication() {
+        let topo = KAryFatTree::builder(4).build().unwrap();
+        let flows = vec![arrival(0, 0.0, 0, 8, 50_000)];
+        let cfg = SimConfig::builder()
+            .horizon(SimTime::from_secs(0.01))
+            .build();
+        let rep = simulate_repflow(&topo, &mut RepFlow::default(), flows, cfg).unwrap();
+        assert_eq!(rep.stats.replicated_flows, 0);
+        assert_eq!(rep.stats.replica_bytes, Bytes::ZERO);
+    }
+}

@@ -278,6 +278,63 @@ where
     T: Topology + Sync + ?Sized,
     M: MakeScheduler,
 {
+    run_partitioned(topo, arrivals, config, shards, |bin_arrivals| {
+        let mut probe = CompletionLogProbe::default();
+        let run = run_with_probe(topo, &mut factory.make(), bin_arrivals, config, &mut probe)?;
+        Ok((run, probe))
+    })
+}
+
+/// Runs one **max-min fair-share** simulation partitioned into `shards`
+/// rack-disjoint bins — the sharded companion of
+/// [`simulate_fair_share`](crate::simulate_fair_share), sharing
+/// [`simulate_sharded`]'s plan and deterministic merge.
+///
+/// Fair-share is rack-separable under the same argument as the matching
+/// engine: the water-filler's constraints (host NICs, rack up/downlinks)
+/// each involve hosts of exactly one rack, so flows of disjoint
+/// rack-components never share a constraint — every round's fill levels,
+/// freezes and residual subtractions restricted to one component are
+/// unaffected by the other components' flows, and the component-wise
+/// allocation is bit-identical to the global one.
+/// `tests/fairshare_differential.rs` pins this across `BASRPT_SHARDS ∈
+/// {1, 4}`.
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadArrival`] under the same conditions as
+/// [`crate::simulate`] (lowest bin index wins when several bins fail).
+pub fn simulate_fair_share_sharded<T>(
+    topo: &T,
+    arrivals: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    shards: usize,
+) -> Result<ShardedRun, FabricError>
+where
+    T: Topology + Sync + ?Sized,
+{
+    run_partitioned(topo, arrivals, config, shards, |bin_arrivals| {
+        let mut probe = CompletionLogProbe::default();
+        let run =
+            crate::fairshare::simulate_fair_share_probed(topo, bin_arrivals, config, &mut probe)?;
+        Ok((run, probe))
+    })
+}
+
+/// The shared plan → fan-out → deterministic-merge skeleton behind the
+/// sharded entry points: partitions the workload with [`ShardPlan`],
+/// drives each bin through `run_bin` on scoped worker threads, and merges
+/// the per-bin runs (see the module docs for why the merge is exact).
+fn run_partitioned<T>(
+    topo: &T,
+    arrivals: impl IntoIterator<Item = FlowArrival>,
+    config: SimConfig,
+    shards: usize,
+    run_bin: impl Fn(Vec<FlowArrival>) -> Result<(FabricRun, CompletionLogProbe), FabricError> + Sync,
+) -> Result<ShardedRun, FabricError>
+where
+    T: Topology + Sync + ?Sized,
+{
     let arrivals: Vec<FlowArrival> = arrivals.into_iter().collect();
     let plan = ShardPlan::new(topo, &arrivals, shards);
     let bins = plan.shards_used();
@@ -288,13 +345,6 @@ where
         class_of.insert(a.id, a.class);
         per_bin[plan.bin_of_arrival(topo, &a)].push(a);
     }
-
-    let run_bin =
-        |bin_arrivals: Vec<FlowArrival>| -> Result<(FabricRun, CompletionLogProbe), FabricError> {
-            let mut probe = CompletionLogProbe::default();
-            let run = run_with_probe(topo, &mut factory.make(), bin_arrivals, config, &mut probe)?;
-            Ok((run, probe))
-        };
 
     // One worker per bin; with a single bin, stay on the caller's thread.
     let results: Vec<Result<(FabricRun, CompletionLogProbe), FabricError>> = if bins == 1 {

@@ -145,6 +145,98 @@ impl fmt::Display for Voq {
     }
 }
 
+/// Identifier of one core plane of a multi-path fabric.
+///
+/// A k-ary fat-tree has `k/2` independent core planes; ECMP-style routing
+/// hashes each inter-rack flow onto one of them, and replication schemes
+/// (RepFlow) send copies of a flow down *distinct* planes.
+///
+/// # Example
+///
+/// ```
+/// use dcn_types::PlaneId;
+/// let p = PlaneId::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "plane2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PlaneId(u32);
+
+impl PlaneId {
+    /// Creates a plane identifier from its zero-based index.
+    pub const fn new(index: u32) -> Self {
+        PlaneId(index)
+    }
+
+    /// Returns the zero-based index of this plane.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, convenient for slice indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plane{}", self.0)
+    }
+}
+
+impl From<u32> for PlaneId {
+    fn from(index: u32) -> Self {
+        PlaneId(index)
+    }
+}
+
+/// Identifier of one copy of a replicated flow: the flow plus the core
+/// plane the copy rides.
+///
+/// The copy on the flow's ECMP-assigned plane is its *primary*; copies on
+/// every other plane are replicas racing it (first copy to finish wins).
+///
+/// # Example
+///
+/// ```
+/// use dcn_types::{FlowId, PlaneId, ReplicaId};
+/// let r = ReplicaId::new(FlowId::new(7), PlaneId::new(1));
+/// assert_eq!(r.flow(), FlowId::new(7));
+/// assert_eq!(r.plane(), PlaneId::new(1));
+/// assert_eq!(r.to_string(), "f7@plane1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId {
+    flow: crate::FlowId,
+    plane: PlaneId,
+}
+
+impl ReplicaId {
+    /// Creates the identifier of `flow`'s copy on `plane`.
+    pub const fn new(flow: crate::FlowId, plane: PlaneId) -> Self {
+        ReplicaId { flow, plane }
+    }
+
+    /// The replicated flow.
+    pub const fn flow(self) -> crate::FlowId {
+        self.flow
+    }
+
+    /// The core plane this copy rides.
+    pub const fn plane(self) -> PlaneId {
+        self.plane
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.flow, self.plane)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +279,26 @@ mod tests {
     fn display_voq() {
         let q = Voq::new(HostId::new(4), HostId::new(7));
         assert_eq!(q.to_string(), "q[4,7]");
+    }
+
+    #[test]
+    fn plane_id_roundtrip() {
+        let p = PlaneId::new(2);
+        assert_eq!(p.index(), 2);
+        assert_eq!(p.as_usize(), 2);
+        assert_eq!(PlaneId::from(2), p);
+        assert_eq!(p.to_string(), "plane2");
+    }
+
+    #[test]
+    fn replica_id_accessors() {
+        let r = ReplicaId::new(crate::FlowId::new(9), PlaneId::new(0));
+        assert_eq!(r.flow(), crate::FlowId::new(9));
+        assert_eq!(r.plane(), PlaneId::new(0));
+        assert_eq!(r.to_string(), "f9@plane0");
+        // Ordering is (flow, plane) lexicographic — the deterministic
+        // replica-processing order of the fabric engine.
+        let earlier = ReplicaId::new(crate::FlowId::new(8), PlaneId::new(3));
+        assert!(earlier < r);
     }
 }

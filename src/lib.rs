@@ -116,13 +116,14 @@ pub use dcn_types::{Bytes, FlowClass, FlowId, HostId, RackId, Rate, SimTime, Slo
 /// ```
 pub mod prelude {
     pub use basrpt_core::{
-        ExactBasrpt, FastBasrpt, Fifo, FlowTable, MaxWeight, PenaltyKind, RoundRobin, Schedule,
-        Scheduler, Srpt, ThresholdBacklogSrpt,
+        ExactBasrpt, FastBasrpt, Fifo, FlowTable, MaxWeight, PenaltyKind, RepFlow, RoundRobin,
+        Schedule, Scheduler, Srpt, ThresholdBacklogSrpt,
     };
     pub use dcn_fabric::{
-        shards_from_env, simulate, simulate_sharded, FabricRun, FabricSim, FabricSnapshot, FatTree,
-        KAryFatTree, KAryFatTreeBuilder, OnlineFabric, ShardedRun, SimConfig, Topology,
-        TopologyError,
+        shards_from_env, simulate, simulate_ecmp, simulate_fair_share, simulate_fair_share_sharded,
+        simulate_repflow, simulate_sharded, FabricRun, FabricSim, FabricSnapshot, FatTree,
+        KAryFatTree, KAryFatTreeBuilder, OnlineFabric, RepFlowRun, RepFlowStats, ShardedRun,
+        SimConfig, Topology, TopologyError,
     };
     pub use dcn_metrics::{StabilityReport, TimeSeries, TrendConfig};
     pub use dcn_probe::{

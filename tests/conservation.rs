@@ -1,13 +1,23 @@
 //! Integration test: end-to-end conservation and determinism of the whole
 //! pipeline (workload generator → fabric engine → metrics) under every
-//! discipline.
+//! discipline — the crossbar schedulers through `simulate`, plus the
+//! fair-share and RepFlow engines, all through the shared invariant
+//! battery in `tests/support/`.
+
+mod support;
 
 use basrpt::core::{
-    FastBasrpt, Fifo, MaxWeight, RoundRobin, Scheduler, Srpt, ThresholdBacklogSrpt,
+    FastBasrpt, Fifo, MaxWeight, RepFlow, RoundRobin, Scheduler, Srpt, ThresholdBacklogSrpt,
 };
-use basrpt::fabric::{simulate, FabricRun, FatTree, SimConfig};
+use basrpt::fabric::{
+    simulate, simulate_fair_share, simulate_repflow, FabricRun, FatTree, KAryFatTree, SimConfig,
+};
 use basrpt::types::{Bytes, SimTime};
 use basrpt::workload::TrafficSpec;
+use support::battery::{
+    run_invariant_battery, FairShareDiscipline, RepFlowDiscipline, ScheduledDiscipline,
+};
+use support::conservation::{assert_conserved, assert_repflow_accounting};
 
 fn schedulers(n: usize) -> Vec<Box<dyn Scheduler>> {
     vec![
@@ -18,6 +28,7 @@ fn schedulers(n: usize) -> Vec<Box<dyn Scheduler>> {
         Box::new(Fifo::new()),
         Box::new(RoundRobin::new()),
         Box::new(ThresholdBacklogSrpt::new(10_000_000)),
+        Box::new(RepFlow::default()),
     ]
 }
 
@@ -125,14 +136,11 @@ mod random_workloads {
             .collect()
     }
 
-    /// The four disciplines the conservation property quantifies over.
+    /// Every crossbar discipline, not just a sample: the conservation
+    /// property quantifies over the full set (including RepFlow, whose
+    /// crossbar ranking is SRPT's).
     fn disciplines() -> Vec<Box<dyn Scheduler>> {
-        vec![
-            Box::new(Srpt::new()),
-            Box::new(FastBasrpt::new(2500.0, 8)),
-            Box::new(Fifo::new()),
-            Box::new(MaxWeight::new()),
-        ]
+        schedulers(8)
     }
 
     proptest! {
@@ -177,6 +185,108 @@ mod random_workloads {
                 );
             }
         }
+
+        /// The two non-crossbar engines conserve exactly too: fair-share
+        /// (water-filled simultaneous transmission) on the scripted
+        /// workload, and RepFlow (replication races on an oversubscribed
+        /// two-plane fabric) with its exact replica-cancellation
+        /// accounting — every replica byte classified as winning, losing,
+        /// or still racing, and the base run's conservation untouched.
+        #[test]
+        fn fair_share_and_repflow_engines_conserve_exactly(
+            raw in prop::collection::vec(
+                (0u64..300, 0u32..8, 0u32..7, 1u64..1_000_000),
+                1..40,
+            )
+        ) {
+            let arrivals = scripted(&raw);
+            let config = SimConfig::builder()
+                .horizon(SimTime::from_millis(30.0))
+                .build();
+
+            let topo = FatTree::scaled(2, 4, 1).expect("valid");
+            let fair = simulate_fair_share(&topo, arrivals.clone(), config)
+                .expect("valid simulation");
+            prop_assert_eq!(
+                fair.arrived_bytes,
+                fair.throughput.delivered() + fair.leftover_bytes,
+                "fair-share: arrived != delivered + leftover (exactly)"
+            );
+            prop_assert_eq!(
+                fair.completions + fair.leftover_flows,
+                fair.arrivals,
+                "fair-share: flow count mismatch"
+            );
+
+            // Hosts 0..8 land in racks 0–1 of the oversubscribed k-ary
+            // tree, so the scripted inter-rack flows race replicas.
+            let kary = KAryFatTree::builder(4)
+                .hosts_per_edge(4)
+                .oversubscription(2.0)
+                .build()
+                .expect("valid");
+            let rep = simulate_repflow(
+                &kary,
+                &mut RepFlow::default(),
+                arrivals.clone(),
+                config,
+            )
+            .expect("valid simulation");
+            assert_repflow_accounting(&rep, "repflow scripted");
+            prop_assert_eq!(rep.run.arrivals, arrivals.len());
+        }
+    }
+}
+
+/// The shared invariant battery (determinism, conservation, work
+/// conservation, non-triviality across seeds × topologies) over every
+/// discipline — crossbar schedulers, the fair-share engine, and the
+/// RepFlow engine. A new `Scheduler` gets the whole set by adding one
+/// line here.
+/// A named crossbar-scheduler constructor (the `usize` is the host count).
+type SchedulerRow = (&'static str, fn(usize) -> Box<dyn Scheduler>);
+
+#[test]
+fn invariant_battery_covers_every_discipline() {
+    let crossbar: Vec<SchedulerRow> = vec![
+        ("SRPT", |_| Box::new(Srpt::new())),
+        ("FastBASRPT", |n| Box::new(FastBasrpt::new(2500.0, n))),
+        ("FastBASRPT-V0", |n| Box::new(FastBasrpt::new(0.0, n))),
+        ("MaxWeight", |_| Box::new(MaxWeight::new())),
+        ("FIFO", |_| Box::new(Fifo::new())),
+        ("RoundRobin", |_| Box::new(RoundRobin::new())),
+        ("ThresholdSRPT", |_| {
+            Box::new(ThresholdBacklogSrpt::new(10_000_000))
+        }),
+        ("RepFlow-ranking", |_| Box::new(RepFlow::default())),
+    ];
+    for (name, make) in crossbar {
+        run_invariant_battery(&ScheduledDiscipline { name, make });
+    }
+    run_invariant_battery(&FairShareDiscipline);
+    run_invariant_battery(&RepFlowDiscipline {
+        threshold: basrpt::core::REPFLOW_DEFAULT_THRESHOLD,
+    });
+}
+
+/// The fair-share engine satisfies the classic identities on the
+/// generated workload as well (the battery uses collected arrivals; this
+/// pins the streaming-generator path).
+#[test]
+fn fair_share_conserves_on_generated_traffic() {
+    let topo = FatTree::scaled(2, 4, 1).expect("valid");
+    let spec = TrafficSpec::scaled(2, 4, 0.9).expect("valid");
+    for seed in [1u64, 2] {
+        let r = simulate_fair_share(
+            &topo,
+            spec.generator(seed).expect("valid"),
+            SimConfig::builder()
+                .horizon(SimTime::from_secs(0.2))
+                .build(),
+        )
+        .expect("valid simulation");
+        assert_conserved(&r, &format!("fair-share seed {seed}"));
+        assert!(r.completions > 0);
     }
 }
 

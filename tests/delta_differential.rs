@@ -13,85 +13,15 @@
 //! incremental scheduler, PR 3 for the calendar, and PR 4 for the
 //! fast-forward switch engine.
 
+mod support;
+
 use basrpt::core::{FastBasrpt, Scheduler, Srpt};
-use basrpt::fabric::{reference, simulate, FabricRun, FabricSim, FatTree, SimConfig};
-use basrpt::metrics::TimeSeries;
+use basrpt::fabric::{reference, simulate, FabricSim, FatTree, SimConfig};
 use basrpt::probe::EventCounterProbe;
-use basrpt::types::{FlowClass, SimTime};
+use basrpt::types::SimTime;
 use basrpt::workload::TrafficSpec;
-
-fn fnv(h: &mut u64, bits: u64) {
-    for b in bits.to_le_bytes() {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x100000001b3);
-    }
-}
-
-fn series_hash(h: &mut u64, ts: &TimeSeries) {
-    fnv(h, ts.len() as u64);
-    for (&t, &v) in ts.times().iter().zip(ts.values()) {
-        fnv(h, t.to_bits());
-        fnv(h, v.to_bits());
-    }
-}
-
-fn fingerprint(run: &FabricRun) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    series_hash(&mut h, &run.total_backlog);
-    series_hash(&mut h, &run.monitored_port_backlog);
-    series_hash(&mut h, &run.max_port_backlog);
-    series_hash(&mut h, &run.cumulative_delivered);
-    h
-}
-
-fn assert_bit_identical(delta: &FabricRun, full: &FabricRun, label: &str) {
-    assert_eq!(delta.arrivals, full.arrivals, "{label}: arrivals");
-    assert_eq!(delta.completions, full.completions, "{label}: completions");
-    assert_eq!(delta.reschedules, full.reschedules, "{label}: reschedules");
-    assert_eq!(
-        delta.arrived_bytes, full.arrived_bytes,
-        "{label}: arrived bytes"
-    );
-    assert_eq!(
-        delta.throughput.delivered(),
-        full.throughput.delivered(),
-        "{label}: delivered bytes"
-    );
-    assert_eq!(
-        delta.leftover_bytes, full.leftover_bytes,
-        "{label}: leftover bytes"
-    );
-    assert_eq!(
-        delta.leftover_flows, full.leftover_flows,
-        "{label}: leftover flows"
-    );
-    assert_eq!(
-        fingerprint(delta),
-        fingerprint(full),
-        "{label}: sampled series fingerprint"
-    );
-    let (d, f) = (
-        delta.fct.summary(FlowClass::Background),
-        full.fct.summary(FlowClass::Background),
-    );
-    match (d, f) {
-        (Some(d), Some(f)) => {
-            assert_eq!(d.count, f.count, "{label}: FCT count");
-            assert_eq!(
-                d.mean_secs.to_bits(),
-                f.mean_secs.to_bits(),
-                "{label}: FCT mean must be bit-exact"
-            );
-            assert_eq!(
-                d.p99_secs.to_bits(),
-                f.p99_secs.to_bits(),
-                "{label}: FCT p99 must be bit-exact"
-            );
-        }
-        (None, None) => {}
-        _ => panic!("{label}: one engine recorded FCTs, the other did not"),
-    }
-}
+use support::conservation::assert_bit_identical;
+use support::fingerprint::fingerprint;
 
 fn config(horizon_secs: f64, enforce_core: bool) -> SimConfig {
     SimConfig::builder()

@@ -18,150 +18,16 @@
 //! A property test sweeps random scripted workloads and random snapshot
 //! cut points (including cuts with a non-empty in-flight buffer).
 
+mod support;
+
 use basrpt::core::{FastBasrpt, Scheduler, Srpt};
 use basrpt::fabric::{
     simulate, FabricRun, FatTree, KAryFatTree, OfferError, OnlineFabric, SimConfig, Topology,
 };
-use basrpt::metrics::TimeSeries;
-use basrpt::probe::Probe;
 use basrpt::types::{Bytes, FlowClass, FlowId, HostId, SimTime, Voq};
 use basrpt::workload::{FlowArrival, TrafficSpec};
-
-fn fnv(h: &mut u64, bits: u64) {
-    for b in bits.to_le_bytes() {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x100000001b3);
-    }
-}
-
-fn series_hash(h: &mut u64, ts: &TimeSeries) {
-    fnv(h, ts.len() as u64);
-    for (&t, &v) in ts.times().iter().zip(ts.values()) {
-        fnv(h, t.to_bits());
-        fnv(h, v.to_bits());
-    }
-}
-
-fn fingerprint(run: &FabricRun) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    series_hash(&mut h, &run.total_backlog);
-    series_hash(&mut h, &run.monitored_port_backlog);
-    series_hash(&mut h, &run.max_port_backlog);
-    series_hash(&mut h, &run.cumulative_delivered);
-    h
-}
-
-fn assert_bit_identical(online: &FabricRun, batch: &FabricRun, label: &str) {
-    assert_eq!(online.arrivals, batch.arrivals, "{label}: arrivals");
-    assert_eq!(
-        online.completions, batch.completions,
-        "{label}: completions"
-    );
-    assert_eq!(
-        online.reschedules, batch.reschedules,
-        "{label}: reschedules"
-    );
-    assert_eq!(
-        online.arrived_bytes, batch.arrived_bytes,
-        "{label}: arrived bytes"
-    );
-    assert_eq!(
-        online.throughput.delivered(),
-        batch.throughput.delivered(),
-        "{label}: delivered bytes"
-    );
-    assert_eq!(
-        online.leftover_bytes, batch.leftover_bytes,
-        "{label}: leftover bytes"
-    );
-    assert_eq!(
-        online.leftover_flows, batch.leftover_flows,
-        "{label}: leftover flows"
-    );
-    assert_eq!(
-        fingerprint(online),
-        fingerprint(batch),
-        "{label}: sampled series fingerprint"
-    );
-    for class in [FlowClass::Background, FlowClass::Query] {
-        match (online.fct.summary(class), batch.fct.summary(class)) {
-            (Some(o), Some(b)) => {
-                assert_eq!(o.count, b.count, "{label}: {class:?} FCT count");
-                assert_eq!(
-                    o.mean_secs.to_bits(),
-                    b.mean_secs.to_bits(),
-                    "{label}: {class:?} FCT mean must be bit-exact"
-                );
-                assert_eq!(
-                    o.p99_secs.to_bits(),
-                    b.p99_secs.to_bits(),
-                    "{label}: {class:?} FCT p99 must be bit-exact"
-                );
-            }
-            (None, None) => {}
-            _ => panic!("{label}: {class:?} FCT summary presence differs"),
-        }
-    }
-}
-
-/// Sequential FNV hash over the full probe event stream — the order- and
-/// content-sensitive fingerprint used to prove a restored engine emits the
-/// exact continuation of the suspended engine's events.
-struct FnvProbe {
-    hash: u64,
-}
-
-impl FnvProbe {
-    fn new() -> Self {
-        FnvProbe {
-            hash: 0xcbf29ce484222325,
-        }
-    }
-
-    /// Continues hashing from a suspended stream's state.
-    fn resumed_at(hash: u64) -> Self {
-        FnvProbe { hash }
-    }
-}
-
-impl Probe for FnvProbe {
-    fn wants_decision_timing(&self) -> bool {
-        false
-    }
-    fn on_arrival(&mut self, e: &basrpt::probe::ArrivalEvent) {
-        fnv(&mut self.hash, 1);
-        fnv(&mut self.hash, e.time.to_bits());
-        fnv(&mut self.hash, e.flow.raw());
-        fnv(&mut self.hash, e.size);
-    }
-    fn on_drain(&mut self, e: &basrpt::probe::DrainEvent) {
-        fnv(&mut self.hash, 2);
-        fnv(&mut self.hash, e.time.to_bits());
-        fnv(&mut self.hash, e.flow.raw());
-        fnv(&mut self.hash, e.amount);
-    }
-    fn on_completion(&mut self, e: &basrpt::probe::CompletionEvent) {
-        fnv(&mut self.hash, 3);
-        fnv(&mut self.hash, e.time.to_bits());
-        fnv(&mut self.hash, e.flow.raw());
-        fnv(&mut self.hash, e.fct.to_bits());
-    }
-    fn on_sample(&mut self, e: &basrpt::probe::SampleEvent<'_>) {
-        fnv(&mut self.hash, 4);
-        fnv(&mut self.hash, e.time.to_bits());
-        fnv(&mut self.hash, e.table.total_backlog());
-    }
-    fn on_decision(&mut self, e: &basrpt::probe::DecisionEvent<'_>) {
-        fnv(&mut self.hash, 5);
-        fnv(&mut self.hash, e.time.to_bits());
-        fnv(&mut self.hash, e.schedule.len() as u64);
-        for (id, voq) in e.schedule.iter() {
-            fnv(&mut self.hash, id.raw());
-            fnv(&mut self.hash, voq.src().index() as u64);
-            fnv(&mut self.hash, voq.dst().index() as u64);
-        }
-    }
-}
+use support::conservation::assert_bit_identical;
+use support::fingerprint::{fingerprint, fnv, FnvProbe};
 
 type MakeScheduler = Box<dyn Fn(u32) -> Box<dyn Scheduler>>;
 

@@ -1,0 +1,106 @@
+//! FNV-1a fingerprinting of runs and probe event streams.
+//!
+//! One sequential 64-bit FNV-1a hash threads through every word of the
+//! observable under test, so two fingerprints agree iff the observables
+//! are **bit-identical** — the backbone of every differential suite. The
+//! event tags and field orders below are frozen: golden fingerprints in
+//! `tests/probe_differential.rs` depend on them.
+
+use basrpt::fabric::FabricRun;
+use basrpt::metrics::TimeSeries;
+use basrpt::probe::{ArrivalEvent, CompletionEvent, DecisionEvent, DrainEvent, Probe, SampleEvent};
+
+/// The FNV-1a 64-bit offset basis every fingerprint starts from.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Folds one 64-bit word into a running FNV-1a hash, byte by byte
+/// (little-endian).
+pub fn fnv(h: &mut u64, bits: u64) {
+    for b in bits.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// Folds a whole sampled series — length, then every (time, value) pair's
+/// exact bits — into a running hash.
+pub fn series_hash(h: &mut u64, ts: &TimeSeries) {
+    fnv(h, ts.len() as u64);
+    for (&t, &v) in ts.times().iter().zip(ts.values()) {
+        fnv(h, t.to_bits());
+        fnv(h, v.to_bits());
+    }
+}
+
+/// The bit-exact fingerprint of a run's four sampled series. Two runs
+/// with equal fingerprints sampled the same backlog and delivery
+/// trajectories to the last bit.
+pub fn fingerprint(run: &FabricRun) -> u64 {
+    let mut h = FNV_OFFSET;
+    series_hash(&mut h, &run.total_backlog);
+    series_hash(&mut h, &run.monitored_port_backlog);
+    series_hash(&mut h, &run.max_port_backlog);
+    series_hash(&mut h, &run.cumulative_delivered);
+    h
+}
+
+/// Sequential FNV-1a hash over the full probe event stream — the order-
+/// and content-sensitive fingerprint used to prove two engines emit the
+/// exact same events in the exact same order (and, via
+/// [`FnvProbe::resumed_at`], that a restored engine emits the exact
+/// continuation of a suspended one's).
+pub struct FnvProbe {
+    /// The running hash; read it after the run to compare streams.
+    pub hash: u64,
+}
+
+impl FnvProbe {
+    /// Starts a fresh stream hash.
+    pub fn new() -> Self {
+        FnvProbe { hash: FNV_OFFSET }
+    }
+
+    /// Continues hashing from a suspended stream's state.
+    pub fn resumed_at(hash: u64) -> Self {
+        FnvProbe { hash }
+    }
+}
+
+impl Probe for FnvProbe {
+    fn wants_decision_timing(&self) -> bool {
+        false
+    }
+    fn on_arrival(&mut self, e: &ArrivalEvent) {
+        fnv(&mut self.hash, 1);
+        fnv(&mut self.hash, e.time.to_bits());
+        fnv(&mut self.hash, e.flow.raw());
+        fnv(&mut self.hash, e.size);
+    }
+    fn on_drain(&mut self, e: &DrainEvent) {
+        fnv(&mut self.hash, 2);
+        fnv(&mut self.hash, e.time.to_bits());
+        fnv(&mut self.hash, e.flow.raw());
+        fnv(&mut self.hash, e.amount);
+    }
+    fn on_completion(&mut self, e: &CompletionEvent) {
+        fnv(&mut self.hash, 3);
+        fnv(&mut self.hash, e.time.to_bits());
+        fnv(&mut self.hash, e.flow.raw());
+        fnv(&mut self.hash, e.fct.to_bits());
+    }
+    fn on_sample(&mut self, e: &SampleEvent<'_>) {
+        fnv(&mut self.hash, 4);
+        fnv(&mut self.hash, e.time.to_bits());
+        fnv(&mut self.hash, e.table.total_backlog());
+    }
+    fn on_decision(&mut self, e: &DecisionEvent<'_>) {
+        fnv(&mut self.hash, 5);
+        fnv(&mut self.hash, e.time.to_bits());
+        fnv(&mut self.hash, e.schedule.len() as u64);
+        for (id, voq) in e.schedule.iter() {
+            fnv(&mut self.hash, id.raw());
+            fnv(&mut self.hash, voq.src().index() as u64);
+            fnv(&mut self.hash, voq.dst().index() as u64);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Behavioural oracles: work conservation and starvation detection.
+//!
+//! Unlike the bit-exact checks in [`super::conservation`], these oracles
+//! judge *physics*: a sane discipline on a sane workload must keep moving
+//! bytes while backlog exists, and a stable discipline must not let
+//! backlog trend upward when every port's offered load is below capacity.
+
+use basrpt::fabric::FabricRun;
+use basrpt::metrics::TimeSeries;
+
+/// Asserts the run is work-conserving at sample resolution: across any
+/// sample interval whose **both** endpoints see positive backlog, some
+/// bytes were delivered. A maximal matching (or a water-filling
+/// allocation) always serves at least one flow when the table is
+/// non-empty, so a flat delivered curve under standing backlog means the
+/// engine idled capacity it had work for.
+pub fn assert_work_conserving(run: &FabricRun, label: &str) {
+    let backlog = run.total_backlog.values();
+    let delivered = run.cumulative_delivered.values();
+    assert_eq!(
+        backlog.len(),
+        delivered.len(),
+        "{label}: series grids differ"
+    );
+    for i in 1..backlog.len() {
+        if backlog[i - 1] > 0.0 && backlog[i] > 0.0 {
+            assert!(
+                delivered[i] > delivered[i - 1],
+                "{label}: no delivery in [{}, {}] despite standing backlog",
+                run.total_backlog.times()[i - 1],
+                run.total_backlog.times()[i],
+            );
+        }
+    }
+}
+
+/// Least-squares slope of a sampled series, in value-units per second —
+/// the instrument behind the starvation oracles. Returns 0 for series
+/// shorter than two points.
+pub fn series_slope(ts: &TimeSeries) -> f64 {
+    let n = ts.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (times, values) = (ts.times(), ts.values());
+    let mean_t = times.iter().sum::<f64>() / n as f64;
+    let mean_v = values.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&t, &v) in times.iter().zip(values) {
+        num += (t - mean_t) * (v - mean_v);
+        den += (t - mean_t) * (t - mean_t);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Asserts no port is starving: the max-port backlog series must not
+/// trend upward faster than `max_slope_bytes_per_sec`. The paper's SRPT
+/// starvation gadget drives this slope to ~`edge_rate × load_gap`;
+/// a stable discipline keeps it near zero.
+pub fn assert_no_starvation(run: &FabricRun, max_slope_bytes_per_sec: f64, label: &str) {
+    let slope = series_slope(&run.max_port_backlog);
+    assert!(
+        slope <= max_slope_bytes_per_sec,
+        "{label}: max-port backlog grows at {slope:.0} B/s (limit {max_slope_bytes_per_sec:.0}) — a port is starving"
+    );
+}
+
+/// Asserts the opposite: the series **does** grow at least this fast —
+/// used to prove a starvation gadget actually bites (so the negative
+/// oracle above is known to be discriminating, not vacuous).
+pub fn assert_starvation_detected(run: &FabricRun, min_slope_bytes_per_sec: f64, label: &str) {
+    let slope = series_slope(&run.max_port_backlog);
+    assert!(
+        slope >= min_slope_bytes_per_sec,
+        "{label}: expected starvation ≥ {min_slope_bytes_per_sec:.0} B/s, measured {slope:.0}"
+    );
+}

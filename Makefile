@@ -28,8 +28,13 @@ test-baselines:
 test:
 	cargo test --workspace
 
-# One quick pass over the headline experiments at smoke scale.
+# One quick pass over the headline experiments at smoke scale, then the
+# perf-regression gate: freshly recorded medians of the event_loop,
+# delta_reschedule and settle_cost groups must stay within 1.5x of the
+# committed results/bench.json (snapshotted before the benches rewrite it).
 bench-smoke:
+	@mkdir -p target
+	cp results/bench.json target/bench-baseline.json
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fig2
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fig5
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench table1
@@ -37,6 +42,7 @@ bench-smoke:
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench fabric_scale
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench daemon_throughput
 	BASRPT_SCALE=quick cargo bench -p basrpt-bench --bench baseline_disciplines
+	cargo run --release -p basrpt-bench --bin perf_gate -- target/bench-baseline.json
 
 # Short traced simulation: streams every event to JSONL, re-parses each
 # emitted line and exits non-zero on any schema violation.

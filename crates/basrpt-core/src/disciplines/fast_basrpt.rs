@@ -1,6 +1,9 @@
 //! Fast BASRPT (the paper's Algorithm 1).
 
-use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{
+    schedule_champions, schedule_champions_adjusted, Candidate, FlowTable, Schedule, Scheduler,
+    ViewAdjust,
+};
 
 /// The practical backlog-aware SRPT approximation (§IV-C, Algorithm 1).
 ///
@@ -94,6 +97,20 @@ impl Scheduler for FastBasrpt {
 
     fn schedule_validity(&self, _table: &FlowTable, _schedule: &Schedule) -> u64 {
         crate::validity::fast_basrpt_validity(self.weight())
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        // The key reads only the view's champion and backlog.
+        true
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        let w = self.weight();
+        schedule_champions_adjusted(table, adjust, |view| Candidate {
+            key: w * view.shortest_remaining as f64 - view.backlog as f64,
+            flow: view.shortest_flow,
+            voq: view.voq,
+        })
     }
 }
 

@@ -1,6 +1,9 @@
 //! FIFO: arrival-order baseline.
 
-use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{
+    schedule_champions, schedule_champions_adjusted, Candidate, FlowTable, Schedule, Scheduler,
+    ViewAdjust,
+};
 
 /// First-in-first-out scheduling: flows are admitted to the matching in
 /// arrival order (flow ids are assigned in arrival order by the workload
@@ -53,6 +56,19 @@ impl Scheduler for Fifo {
         // (draining a flow never changes which flow is oldest), so the
         // ranking is frozen and the schedule cannot change.
         u64::MAX
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        // The key reads only the view's oldest flow.
+        true
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        schedule_champions_adjusted(table, adjust, |view| Candidate {
+            key: view.oldest_flow.raw() as f64,
+            flow: view.oldest_flow,
+            voq: view.voq,
+        })
     }
 }
 

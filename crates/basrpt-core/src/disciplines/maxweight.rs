@@ -1,6 +1,9 @@
 //! MaxWeight: the classical throughput-optimal baseline.
 
-use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{
+    schedule_champions, schedule_champions_adjusted, Candidate, FlowTable, Schedule, Scheduler,
+    ViewAdjust,
+};
 
 /// Greedy MaxWeight scheduling: VOQs are served in decreasing order of
 /// backlog (`key = −X_ij`), the `V → 0` limit of BASRPT.
@@ -51,6 +54,19 @@ impl Scheduler for MaxWeight {
 
     fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
         crate::validity::maxweight_validity(table, schedule)
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        // The key reads only the view's backlog and champion.
+        true
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        schedule_champions_adjusted(table, adjust, |view| Candidate {
+            key: -(view.backlog as f64),
+            flow: view.shortest_flow,
+            voq: view.voq,
+        })
     }
 }
 

@@ -1,6 +1,9 @@
 //! RepFlow: SRPT ranking plus short-flow replication metadata.
 
-use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{
+    schedule_champions, schedule_champions_adjusted, Candidate, FlowTable, Schedule, Scheduler,
+    ViewAdjust,
+};
 
 /// The RepFlow baseline (Xu & Li, INFOCOM'14): flows shorter than a
 /// threshold are replicated across distinct core planes and the first
@@ -77,6 +80,19 @@ impl Scheduler for RepFlow {
         // served slot keep the matching valid until the next arrival or
         // completion.
         u64::MAX
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        // Same view-only decision as SRPT.
+        true
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        schedule_champions_adjusted(table, adjust, |v| Candidate {
+            key: v.shortest_remaining as f64,
+            flow: v.shortest_flow,
+            voq: v.voq,
+        })
     }
 }
 

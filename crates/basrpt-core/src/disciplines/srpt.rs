@@ -1,6 +1,9 @@
 //! Shortest Remaining Processing Time (greedy maximal SRPT).
 
-use crate::{schedule_champions, Candidate, FlowTable, Schedule, Scheduler};
+use crate::{
+    schedule_champions, schedule_champions_adjusted, Candidate, FlowTable, Schedule, Scheduler,
+    ViewAdjust,
+};
 
 /// The SRPT discipline used by PDQ, pFabric and PASE (§II-A): repeatedly
 /// select the globally shortest remaining flow whose ingress and egress
@@ -55,6 +58,19 @@ impl Scheduler for Srpt {
         // VOQs are frozen; a drained head also stays its VOQ's shortest
         // flow. The schedule can only change at an arrival or completion.
         u64::MAX
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        // The decision reads only the per-VOQ views.
+        true
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        schedule_champions_adjusted(table, adjust, |v| Candidate {
+            key: v.shortest_remaining as f64,
+            flow: v.shortest_flow,
+            voq: v.voq,
+        })
     }
 }
 

@@ -1,6 +1,6 @@
 //! The threshold backlog-aware strategy compared against SRPT in Fig. 2.
 
-use crate::{FlowTable, Schedule, Scheduler};
+use crate::{FlowTable, Schedule, Scheduler, ViewAdjust};
 use dcn_types::{FlowId, Voq};
 
 /// The simple backlog-aware strategy of the paper's motivation section
@@ -44,27 +44,12 @@ impl ThresholdBacklogSrpt {
     pub fn threshold(&self) -> u64 {
         self.threshold
     }
-}
 
-impl Scheduler for ThresholdBacklogSrpt {
-    fn name(&self) -> &str {
-        "threshold backlog-aware SRPT"
-    }
-
-    fn schedule(&mut self, table: &FlowTable) -> Schedule {
-        // (urgent?, remaining, id, voq); sort puts urgent tier first, then
-        // SRPT order within each tier, flow id as the final tie-break.
-        let mut candidates: Vec<(bool, u64, FlowId, Voq)> = table
-            .voqs()
-            .map(|view| {
-                (
-                    view.backlog <= self.threshold,
-                    view.shortest_remaining,
-                    view.shortest_flow,
-                    view.voq,
-                )
-            })
-            .collect();
+    /// The tiered greedy admission shared by the plain and adjusted
+    /// decision paths. `candidates` holds `(urgent?, remaining, id, voq)`
+    /// tuples; the sort puts the urgent tier first, then SRPT order
+    /// within each tier, flow id as the final tie-break.
+    fn admit(mut candidates: Vec<(bool, u64, FlowId, Voq)>) -> Schedule {
         candidates.sort_unstable();
         let mut schedule = Schedule::new();
         for (_, _, flow, voq) in candidates {
@@ -76,9 +61,51 @@ impl Scheduler for ThresholdBacklogSrpt {
         }
         schedule
     }
+}
+
+impl Scheduler for ThresholdBacklogSrpt {
+    fn name(&self) -> &str {
+        "threshold backlog-aware SRPT"
+    }
+
+    fn schedule(&mut self, table: &FlowTable) -> Schedule {
+        let candidates: Vec<(bool, u64, FlowId, Voq)> = table
+            .voqs()
+            .map(|view| {
+                (
+                    view.backlog <= self.threshold,
+                    view.shortest_remaining,
+                    view.shortest_flow,
+                    view.voq,
+                )
+            })
+            .collect();
+        Self::admit(candidates)
+    }
 
     fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
         crate::validity::threshold_validity(table, schedule, self.threshold)
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        // Both the tier test and the within-tier key read only the view.
+        true
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        let candidates: Vec<(bool, u64, FlowId, Voq)> = table
+            .voqs()
+            .map(|mut view| {
+                adjust.adjust(&mut view);
+                (
+                    view.backlog <= self.threshold,
+                    view.shortest_remaining,
+                    view.shortest_flow,
+                    view.voq,
+                )
+            })
+            .collect();
+        Self::admit(candidates)
     }
 }
 

@@ -75,8 +75,8 @@ pub use flow::FlowState;
 pub use incremental::{check_equivalence, F64Key, IncrementalScheduler, VoqDiscipline};
 pub use schedule::{Schedule, ScheduleError};
 pub use scheduler::{
-    check_maximal, greedy_by_key, schedule_champions, Candidate, CountingScheduler, MakeScheduler,
-    Scheduler,
+    check_maximal, greedy_by_key, schedule_champions, schedule_champions_adjusted, Candidate,
+    CountingScheduler, MakeScheduler, NoAdjust, Scheduler, ViewAdjust,
 };
 pub use table::{
     ChangeLogRead, CursorId, DrainOutcome, FlowTable, FlowTableError, TableCursor, VoqView,

@@ -136,6 +136,14 @@ impl Schedule {
     pub fn contains(&self, flow: FlowId) -> bool {
         self.flows.contains(&flow)
     }
+
+    /// Consumes the schedule, returning the selected `(flow, voq)` pairs
+    /// in selection order. The zero-copy handover for engines that keep
+    /// the previous selection alive across events (the delta allocator's
+    /// stay-detection diff) instead of re-reading it per event.
+    pub fn into_pairs(self) -> Vec<(FlowId, Voq)> {
+        self.selected
+    }
 }
 
 impl<'a> IntoIterator for &'a Schedule {

@@ -4,6 +4,37 @@ use crate::table::VoqView;
 use crate::{FlowTable, Schedule};
 use dcn_types::{FlowId, Voq};
 
+/// A read-time correction applied to [`VoqView`]s before a discipline
+/// ranks them.
+///
+/// Lazily settling engines (see `dcn_fabric::DeltaAllocator`) defer the
+/// per-flow drain write-back: between observation points the [`FlowTable`]
+/// is *stale* by exactly the bytes the currently scheduled flows have
+/// transmitted since their last settlement. Because a schedule is a
+/// crossbar matching, at most **one** scheduled flow drains per VOQ, so
+/// the engine can correct a view in `O(1)` at read time — subtract the
+/// owed bytes from `backlog`, lower (or replace) the champion — instead of
+/// eagerly writing every flow back on every event.
+///
+/// The contract: after [`adjust`](ViewAdjust::adjust), the view must be
+/// bit-identical to what [`FlowTable::voq_view`] would return had every
+/// pending drain been applied. Disciplines that opt in via
+/// [`Scheduler::supports_lazy_views`] promise their decision reads *only*
+/// the (adjusted) views, never raw per-flow state.
+pub trait ViewAdjust {
+    /// Corrects `view` to account for drains not yet written back.
+    fn adjust(&self, view: &mut VoqView);
+}
+
+/// The identity adjustment: views pass through unmodified. Useful for
+/// exercising an adjusted code path against its eager twin in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoAdjust;
+
+impl ViewAdjust for NoAdjust {
+    fn adjust(&self, _view: &mut VoqView) {}
+}
+
 /// A flow scheduling discipline.
 ///
 /// Schedulers are consulted by the embedding simulator on every flow arrival
@@ -41,6 +72,33 @@ pub trait Scheduler {
         let _ = (table, schedule);
         1
     }
+
+    /// Whether this discipline's decision reads *only* the per-VOQ
+    /// [`VoqView`]s, so an engine may substitute views corrected by a
+    /// [`ViewAdjust`] (via
+    /// [`schedule_adjusted`](Scheduler::schedule_adjusted)) for the raw
+    /// table reads and still obtain the bit-identical schedule.
+    ///
+    /// The default is `false` — always sound, since the engine then falls
+    /// back to eager settlement before every decision. Stateful or
+    /// per-flow-reading disciplines (round-robin's rotation, exact
+    /// BASRPT's enumeration, the incremental wrapper's change-log replay)
+    /// must keep it.
+    fn supports_lazy_views(&self) -> bool {
+        false
+    }
+
+    /// Computes the decision against views corrected by `adjust`.
+    ///
+    /// Engines call this **only** when
+    /// [`supports_lazy_views`](Scheduler::supports_lazy_views) returns
+    /// `true`; the default implementation ignores `adjust` and defers to
+    /// [`schedule`](Scheduler::schedule), which is correct exactly when
+    /// the engine honours that contract (it settles eagerly first).
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        let _ = adjust;
+        self.schedule(table)
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -54,6 +112,14 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
         (**self).schedule_validity(table, schedule)
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        (**self).supports_lazy_views()
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        (**self).schedule_adjusted(table, adjust)
     }
 }
 
@@ -145,6 +211,15 @@ impl<S: Scheduler> Scheduler for CountingScheduler<S> {
 
     fn schedule_validity(&self, table: &FlowTable, schedule: &Schedule) -> u64 {
         self.inner.schedule_validity(table, schedule)
+    }
+
+    fn supports_lazy_views(&self) -> bool {
+        self.inner.supports_lazy_views()
+    }
+
+    fn schedule_adjusted(&mut self, table: &FlowTable, adjust: &dyn ViewAdjust) -> Schedule {
+        self.calls += 1;
+        self.inner.schedule_adjusted(table, adjust)
     }
 }
 
@@ -239,6 +314,29 @@ where
     greedy_by_key(&mut candidates)
 }
 
+/// [`schedule_champions`] with a [`ViewAdjust`] correction applied to
+/// every view before ranking — the skeleton behind the view-based
+/// disciplines' [`Scheduler::schedule_adjusted`] overrides. With
+/// [`NoAdjust`] this is exactly `schedule_champions`.
+pub fn schedule_champions_adjusted<F>(
+    table: &FlowTable,
+    adjust: &dyn ViewAdjust,
+    to_candidate: F,
+) -> Schedule
+where
+    F: FnMut(&VoqView) -> Candidate,
+{
+    let mut to_candidate = to_candidate;
+    let mut candidates: Vec<Candidate> = table
+        .voqs()
+        .map(|mut v| {
+            adjust.adjust(&mut v);
+            to_candidate(&v)
+        })
+        .collect();
+    greedy_by_key(&mut candidates)
+}
+
 /// Asserts that `schedule` is a valid *maximal* matching over the non-empty
 /// VOQs of `table`: every selected flow is active and in its claimed VOQ,
 /// ports are used at most once (guaranteed by `Schedule`), and no non-empty
@@ -303,6 +401,59 @@ mod tests {
         let s = greedy_by_key(&mut c);
         assert!(s.contains(FlowId::new(2)));
         assert!(!s.contains(FlowId::new(9)));
+    }
+
+    #[test]
+    fn no_adjust_matches_the_plain_champions_path() {
+        let mut t = FlowTable::new();
+        for (id, src, dst, size) in [(1u64, 0, 1, 5u64), (2, 0, 2, 1), (3, 3, 1, 7)] {
+            t.insert(FlowState::new(
+                FlowId::new(id),
+                Voq::new(HostId::new(src), HostId::new(dst)),
+                size,
+            ))
+            .unwrap();
+        }
+        let key = |v: &VoqView| Candidate {
+            key: v.shortest_remaining as f64,
+            flow: v.shortest_flow,
+            voq: v.voq,
+        };
+        let plain = schedule_champions(&t, key);
+        let adjusted = schedule_champions_adjusted(&t, &NoAdjust, key);
+        assert_eq!(plain, adjusted);
+    }
+
+    #[test]
+    fn an_adjustment_changes_the_ranking() {
+        // Flows 1 (5 units) and 2 (1 unit) contend for ingress 0; the
+        // adjustment pretends flow 1 has drained down to 0 remaining, so
+        // it must win the contention instead of flow 2.
+        struct Shrink;
+        impl ViewAdjust for Shrink {
+            fn adjust(&self, view: &mut VoqView) {
+                if view.shortest_flow == FlowId::new(1) {
+                    view.shortest_remaining = 0;
+                }
+            }
+        }
+        let mut t = FlowTable::new();
+        for (id, src, dst, size) in [(1u64, 0, 1, 5u64), (2, 0, 2, 1)] {
+            t.insert(FlowState::new(
+                FlowId::new(id),
+                Voq::new(HostId::new(src), HostId::new(dst)),
+                size,
+            ))
+            .unwrap();
+        }
+        let key = |v: &VoqView| Candidate {
+            key: v.shortest_remaining as f64,
+            flow: v.shortest_flow,
+            voq: v.voq,
+        };
+        let s = schedule_champions_adjusted(&t, &Shrink, key);
+        assert!(s.contains(FlowId::new(1)));
+        assert!(!s.contains(FlowId::new(2)));
     }
 
     #[test]

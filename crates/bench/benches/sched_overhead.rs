@@ -24,10 +24,15 @@
 //! *binding* of each decision cheaper: the delta-rate fabric engine pays
 //! calendar work only for the flows whose allocation changed, versus the
 //! full per-event rebind the PR 3–5 engine paid (see PERFMODEL.md).
+//!
+//! The `settle_cost` group prices the fourth lever — lazy exact
+//! settlement: byte accounts settle only when observed, so the per-event
+//! residue is an `O(1)` due-check plus `O(1)` per-VOQ view adjustment
+//! instead of an `O(n)` sweep of every scheduled flow.
 
 use basrpt_core::{
     ExactBasrpt, FastBasrpt, Fifo, FlowState, FlowTable, IncrementalScheduler, MaxWeight,
-    Scheduler, Srpt,
+    Scheduler, Srpt, VoqView,
 };
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dcn_types::{FlowId, HostId, Voq};
@@ -358,9 +363,10 @@ fn bench_event_loop(c: &mut Criterion) {
 ///   moved: `O(n)` hashing and allocation per event (the PR 3–5 engine's
 ///   per-event floor);
 /// * `allocator_swap_one` — the whole `DeltaAllocator::apply` for a
-///   schedule differing in one flow: `O(n)` generation stamps (one hash
-///   probe and one entry copy per kept flow, no calendar work) plus the
-///   `O(log n)` calendar edit, sitting between the two bounds above.
+///   schedule differing in one flow: a prefix/suffix positional diff
+///   (one `Copy`-pair compare per kept flow, no hashing, no stamping)
+///   isolates the one-entry window, then the entrant/leaver pay the
+///   `O(log n)` calendar edit — the true `O(Δ log n)` per-event cost.
 ///
 /// In the fabric engine the schedule is a crossbar matching (≤ 72 pairs on
 /// the paper topology), so `targeted_churn` is the term that scales with
@@ -422,15 +428,17 @@ fn bench_delta_reschedule(c: &mut Criterion) {
 
         {
             let mut alloc = DeltaAllocator::new(Rate::from_gbps(10.0));
+            // Distinct VOQs per flow: the allocator indexes live flows by
+            // VOQ under the crossbar's one-flow-per-VOQ invariant.
             let base: Vec<(FlowId, Voq)> = (0..n)
                 .map(|i| {
                     (
                         FlowId::new(i as u64),
-                        Voq::new(HostId::new(0), HostId::new(1)),
+                        Voq::new(HostId::new(2 * i as u32), HostId::new(2 * i as u32 + 1)),
                     )
                 })
                 .collect();
-            alloc.apply(SimTime::ZERO, base.iter().copied(), |_| 1 << 40);
+            alloc.apply(SimTime::ZERO, base.clone(), |_| 1 << 40, |_| {});
             let mut swapped = base.clone();
             let mut tick = 0u64;
             group.bench_with_input(BenchmarkId::new("allocator_swap_one", n), &n, |b, &n| {
@@ -439,8 +447,85 @@ fn bench_delta_reschedule(c: &mut Criterion) {
                     // apply sees one entrant, one leaver, n-1 stays.
                     tick += 1;
                     swapped[n - 1].0 = FlowId::new((n as u64) + (tick & 1));
-                    alloc.apply(SimTime::ZERO, swapped.iter().copied(), |_| 1 << 40);
+                    alloc.apply(SimTime::ZERO, swapped.clone(), |_| 1 << 40, |_| {});
                     alloc.next_completion()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The lazy settlement primitives the per-event path leans on, as the
+/// scheduled set grows 64 → 4096 — both must stay near-flat in `n`, the
+/// load-bearing claim of the lazy engine:
+///
+/// * `due_check` — [`DeltaAllocator::settle_due`] at an instant with no
+///   completion due: one validated heap peek, `O(1)`. This is what every
+///   arrival event pays instead of the old full-set sweep;
+/// * `view_adjust` — one [`VoqView`] corrected through the
+///   [`DeltaAllocator::live_views`] lens: two hash probes and integer
+///   arithmetic, `O(1)` per VOQ regardless of how many flows are live.
+///
+/// The `O(Δ)` reschedule itself is covered by `delta_reschedule`; these
+/// rows isolate the *observation* costs that the lazy discipline added.
+fn bench_settle_cost(c: &mut Criterion) {
+    use basrpt_core::ViewAdjust;
+    use dcn_fabric::DeltaAllocator;
+    use dcn_types::{Rate, SimTime};
+
+    let mut group = c.benchmark_group("settle_cost");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    for &n in &[64usize, 256, 1024, 4096] {
+        let sel: Vec<(FlowId, Voq)> = (0..n)
+            .map(|i| {
+                (
+                    FlowId::new(i as u64),
+                    Voq::new(HostId::new(2 * i as u32), HostId::new(2 * i as u32 + 1)),
+                )
+            })
+            .collect();
+
+        {
+            let mut alloc = DeltaAllocator::new(Rate::from_gbps(10.0));
+            // ~1 TiB per flow at 10 Gbps: nothing completes within the
+            // probed window, so every check is the no-op fast path.
+            alloc.apply(SimTime::ZERO, sel.clone(), |_| 1 << 40, |_| {});
+            let mut tick = 0u64;
+            group.bench_with_input(BenchmarkId::new("due_check", n), &n, |b, _| {
+                b.iter(|| {
+                    tick += 1;
+                    alloc.settle_due(SimTime::from_micros((tick % 997) as f64), |_| {
+                        unreachable!("no completion is due")
+                    })
+                })
+            });
+        }
+
+        {
+            let mut alloc = DeltaAllocator::new(Rate::from_gbps(10.0));
+            alloc.apply(SimTime::ZERO, sel.clone(), |_| 1 << 40, |_| {});
+            let mut tick = 0u64;
+            group.bench_with_input(BenchmarkId::new("view_adjust", n), &n, |b, &n| {
+                b.iter(|| {
+                    tick += 1;
+                    let i = (tick % n as u64) as u32;
+                    let mut view = VoqView {
+                        voq: Voq::new(HostId::new(2 * i), HostId::new(2 * i + 1)),
+                        backlog: 1 << 41,
+                        shortest_remaining: 1 << 40,
+                        shortest_flow: FlowId::new(i as u64),
+                        oldest_flow: FlowId::new(i as u64),
+                        len: 2,
+                    };
+                    alloc
+                        .live_views(SimTime::from_micros((1 + tick % 997) as f64))
+                        .adjust(&mut view);
+                    view.backlog
                 })
             });
         }
@@ -660,6 +745,7 @@ criterion_group!(
     bench_probe_overhead,
     bench_event_loop,
     bench_delta_reschedule,
+    bench_settle_cost,
     bench_fastforward,
     bench_exact_blowup
 );

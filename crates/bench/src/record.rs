@@ -22,12 +22,15 @@ use std::io;
 pub const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench.json");
 
 /// `group → [(bench key, raw row object)]` in file order.
-type Groups = BTreeMap<String, Vec<(String, String)>>;
+pub type Groups = BTreeMap<String, Vec<(String, String)>>;
 
 /// Reads back the groups of an existing `bench.json`. Only lines in the
 /// shape this module writes are recognised; anything else is ignored, so
 /// a corrupt file degrades to "start fresh" rather than an error.
-fn parse_groups(text: &str) -> Groups {
+///
+/// Public for the `perf_gate` binary, which compares a committed baseline
+/// against freshly recorded medians.
+pub fn parse_groups(text: &str) -> Groups {
     let mut groups = Groups::new();
     let mut current: Option<String> = None;
     for line in text.lines() {
@@ -53,6 +56,26 @@ fn parse_groups(text: &str) -> Groups {
         }
     }
     groups
+}
+
+/// Extracts the `median_ns` field from a row object in this module's own
+/// format. Returns `None` on anything it did not write itself.
+///
+/// # Example
+///
+/// ```
+/// use basrpt_bench::record::median_ns;
+/// assert_eq!(median_ns("{ \"median_ns\": 12.5, \"n\": 15 }"), Some(12.5));
+/// assert_eq!(median_ns("{}"), None);
+/// ```
+pub fn median_ns(row: &str) -> Option<f64> {
+    let rest = row.split("\"median_ns\":").nth(1)?;
+    let number: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    number.parse().ok()
 }
 
 fn render(groups: &Groups) -> String {

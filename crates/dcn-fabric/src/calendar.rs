@@ -161,6 +161,46 @@ impl CompletionCalendar {
         }
         SimTime::INFINITY
     }
+
+    /// Pops and deschedules the earliest live flow whose completion
+    /// instant is at or before `now`, or returns `None` if the earliest
+    /// live instant is still in the future (or nothing is scheduled).
+    /// This is the lazy engine's due-settlement primitive: at a
+    /// completion wakeup it pops exactly the flows owed a completion —
+    /// usually one — without touching any other entry. Amortized
+    /// `O(log n)` per popped flow.
+    ///
+    /// Ties on the instant pop in ascending flow-id order; callers that
+    /// need a different tie order (the engine settles ties in schedule
+    /// priority order) collect the tie set first.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dcn_fabric::CompletionCalendar;
+    /// use dcn_types::{FlowId, SimTime};
+    ///
+    /// let mut cal = CompletionCalendar::new();
+    /// cal.update(FlowId::new(1), SimTime::from_millis(3.0));
+    /// cal.update(FlowId::new(2), SimTime::from_millis(1.0));
+    /// assert_eq!(cal.pop_due(SimTime::from_millis(2.0)), Some(FlowId::new(2)));
+    /// assert_eq!(cal.pop_due(SimTime::from_millis(2.0)), None);
+    /// assert_eq!(cal.next_completion(), SimTime::from_millis(3.0));
+    /// ```
+    pub fn pop_due(&mut self, now: SimTime) -> Option<FlowId> {
+        while let Some(&Reverse((at, flow))) = self.heap.peek() {
+            if self.live.get(&flow) == Some(&at) {
+                if at > now {
+                    return None;
+                }
+                self.heap.pop();
+                self.live.remove(&flow);
+                return Some(flow);
+            }
+            self.heap.pop();
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +338,29 @@ mod tests {
         cal.update(f(1), ms(6.0));
         assert_eq!(cal.next_completion(), ms(6.0));
         assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn pop_due_drains_exactly_the_due_set() {
+        let mut cal = CompletionCalendar::new();
+        cal.update(f(1), ms(5.0));
+        cal.update(f(2), ms(2.0));
+        cal.update(f(3), ms(2.0));
+        // Nothing due before the earliest instant.
+        assert_eq!(cal.pop_due(ms(1.0)), None);
+        assert_eq!(cal.len(), 3);
+        // Ties pop in ascending flow-id order and leave the live set exact.
+        assert_eq!(cal.pop_due(ms(2.0)), Some(f(2)));
+        assert_eq!(cal.pop_due(ms(2.0)), Some(f(3)));
+        assert_eq!(cal.pop_due(ms(2.0)), None);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.next_completion(), ms(5.0));
+        // Stale entries (a superseded instant) are skipped, not returned.
+        cal.update(f(1), ms(9.0));
+        assert_eq!(cal.pop_due(ms(5.0)), None);
+        assert_eq!(cal.pop_due(ms(9.0)), Some(f(1)));
+        assert!(cal.is_empty());
+        assert_eq!(cal.pop_due(ms(100.0)), None);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Delta-rate rescheduling: per-event work proportional to the flows
-//! whose allocated rate actually changed, not to every scheduled flow.
+//! Delta-rate rescheduling with lazy exact settlement: per-event work
+//! proportional to the flows whose allocation actually changed — not to
+//! every scheduled flow, and not even one touch per scheduled flow.
 //!
 //! On every arrival and completion the paper's update rule recomputes the
 //! crossbar matching from scratch. The *schedule* must be recomputed — the
@@ -8,46 +9,57 @@
 //! previously selected flow transmitting at the same (line) rate, and only
 //! the flows sharing a bottleneck port with the triggering arrival or
 //! completion — the affected frontier — enter or leave the transmitting
-//! set. The seed engine nevertheless paid `O(n)` per event to re-bind the
-//! whole allocation: it rebuilt the carry-over map of drain epochs, the
-//! scheduled-entry vector, *and* the completion calendar's live map on
-//! every decision (`calendar_reschedule_unchanged` in
-//! `results/bench.json`: 1.9 µs at 64 scheduled flows, 122 µs at 4096 —
-//! linear in `n` even when nothing changed).
+//! set. Two generations of this engine chipped at the per-event cost:
 //!
-//! [`DeltaAllocator`] is the persistent replacement. It keeps the
-//! allocation state alive across events:
+//! * the seed engine re-bound the whole allocation on every decision
+//!   (rebuilt the carry map, the entry vector, and the calendar's live
+//!   map): `O(n)` hash work per event even when nothing changed;
+//! * the PR 6 `DeltaAllocator` kept the binding alive and made the
+//!   *calendar* work `O(Δ log n)`, but still stamped, hash-probed, and
+//!   copied every kept flow per `apply` — and still *settled* every
+//!   scheduled flow's byte account on every event, an `O(n)` table sweep
+//!   that dominated once calendar churn was gone.
 //!
-//! * the **priority-order entry vector** — every scheduled flow's exact
-//!   byte account (drain epoch, settled bytes, completion instant; see
-//!   `ScheduledEntry` in `engine.rs`), contiguous and in schedule order,
-//!   so drains settle as a straight cache-friendly scan in exactly the
-//!   order the reference engine emits them;
-//! * a **flow index** `flow → (position, generation)` — membership and
-//!   stay-detection only, never touched while settling;
-//! * the indexed [`CompletionCalendar`], edited **only** through its
-//!   targeted [`update`](CompletionCalendar::update) /
-//!   [`remove`](CompletionCalendar::remove) API.
+//! This generation removes both linear terms:
 //!
-//! [`apply`](DeltaAllocator::apply) takes the freshly computed matching
-//! and computes the allocation delta with a generation sweep: flows
-//! already live are re-stamped and their account copied to its new
-//! priority position (epoch, byte account, and calendar entry survive —
-//! one hash probe and a few dozen bytes of memcpy per kept flow, zero
-//! calendar or heap churn); flows entering open a fresh drain epoch and
-//! push one calendar entry; flows of the previous schedule whose stamp is
-//! stale have left and are evicted from the index and calendar. The cost
-//! is `O(|schedule|)` stamps plus `O(Δ log n)` calendar edits — and the
-//! calendar work is what used to be the linear term, so per-event
-//! reschedule cost is flat in the total flow count (the
-//! `delta_reschedule` bench group pins this).
+//! * [`apply`](DeltaAllocator::apply) diffs the new selection against the
+//!   previous one **positionally**: the common prefix and suffix of
+//!   identical `(flow, VOQ)` pairs — in steady state almost the whole
+//!   schedule — match with one `Copy`-pair comparison each, zero hash
+//!   probes, zero copies. Only the middle window (the pairs around the
+//!   triggering event, size `O(Δ)`) is hashed to classify entrants,
+//!   leavers, and movers;
+//! * settlement is **lazy**: a scheduled flow's byte account is converted
+//!   into table drains only when the flow is *observed* — its own
+//!   completion ([`settle_due`](DeltaAllocator::settle_due)), its
+//!   eviction (inside `apply`), a sample instant or the horizon
+//!   ([`settle`](DeltaAllocator::settle)), or a snapshot. Between
+//!   observations the account is the pair (drain epoch, settled bytes),
+//!   and every conversion derives cumulative progress with the single
+//!   [`settle_drain_target`](crate::settle_drain_target) formula, so the
+//!   drains a flow reports always sum to exactly the bytes its epochs
+//!   owed: `arrived == delivered + leftover` holds bit-for-bit at every
+//!   observation point (`tests/support/battery.rs` asserts it at every
+//!   sample of every invariant-battery run).
+//!
+//! Schedulers that decide from per-VOQ views cannot read the (stale)
+//! table directly in lazy mode; [`DeltaAllocator::live_views`] lends them
+//! a [`ViewAdjust`] lens that subtracts each VOQ's unsettled bytes on the
+//! fly — `O(1)` per VOQ, two hash lookups — reproducing exactly the views
+//! an eagerly settled table would have served (same champion, same
+//! tie-breaks). Disciplines opt in via
+//! [`Scheduler::supports_lazy_views`](basrpt_core::Scheduler::supports_lazy_views);
+//! everything else (and every run under a per-flow-fidelity probe, or
+//! with `BASRPT_SETTLE=eager`) takes the eager path, which settles every
+//! account on every event exactly like the reference engines.
 //!
 //! The change-log cursors and champion index of `basrpt-core` (PR 5) play
 //! the same role one layer down: they make the *decision* incremental,
-//! while this module makes the *binding* of the decision incremental. Run
-//! an [`IncrementalScheduler`](basrpt_core::IncrementalScheduler) inside
-//! the delta engine and every layer of the per-event path is
-//! `O(affected)`; `PERFMODEL.md` has the full cost model.
+//! while this module makes the *binding and accounting* of the decision
+//! incremental. Run an
+//! [`IncrementalScheduler`](basrpt_core::IncrementalScheduler) inside the
+//! delta engine and every layer of the per-event path is `O(affected)`;
+//! `PERFMODEL.md` has the full cost model.
 //!
 //! The full-recompute binding survives as [`crate::reference`] and the
 //! differential suites (`tests/delta_differential.rs`,
@@ -56,27 +68,29 @@
 use crate::calendar::CompletionCalendar;
 use crate::engine::ScheduledEntry;
 use crate::topology::Topology;
+use basrpt_core::{ViewAdjust, VoqView};
 use dcn_types::{FlowId, Rate, SimTime, Voq};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The allocation delta of one [`DeltaAllocator::apply`] call: how many
 /// flows entered, left, and kept their rate across the reschedule.
 ///
 /// `entered + kept` is the size of the new schedule; `left` counts flows
 /// of the previous schedule that lost their ports (completed flows are
-/// accounted by [`DeltaAllocator::settle`], not here). Only `entered` and
-/// `left` — the affected frontier — cost calendar work.
+/// accounted by [`DeltaAllocator::settle_due`] /
+/// [`DeltaAllocator::settle`], not here). Only `entered` and `left` — the
+/// affected frontier — cost hash or calendar work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DeltaOutcome {
     /// Flows newly admitted into the transmitting set (fresh drain epoch,
     /// one calendar push each).
     pub entered: u64,
-    /// Flows of the previous schedule that lost their ports (calendar
-    /// eviction each).
+    /// Flows of the previous schedule that lost their ports (settled to
+    /// the reschedule instant and evicted, one calendar eviction each).
     pub left: u64,
     /// Flows that stayed scheduled: epoch, byte account, and calendar
-    /// entry all untouched.
+    /// entry all untouched (pair-compare only for the matched ends).
     pub kept: u64,
 }
 
@@ -95,93 +109,7 @@ pub struct DeltaStats {
     pub kept: u64,
 }
 
-/// Index record of one live scheduled flow: where its entry sits in the
-/// priority-order vector plus the generation stamp of the last schedule
-/// that selected it. The byte account itself lives in
-/// `DeltaAllocator::order` so settling is a contiguous scan, not a hash
-/// walk.
-#[derive(Debug, Clone, Copy)]
-struct LiveSlot {
-    pos: usize,
-    gen: u64,
-}
-
-/// Persistent, incrementally maintained binding of schedules to drain
-/// state and completion instants — the delta-rate rescheduling engine.
-///
-/// Feed it the matching produced by any `Scheduler` after every event
-/// ([`apply`](DeltaAllocator::apply)); between events it answers "when
-/// does the next scheduled flow complete?" in `O(1)`
-/// ([`next_completion`](DeltaAllocator::next_completion)) and settles
-/// exact byte drains in schedule-priority order
-/// ([`settle`](DeltaAllocator::settle)). Flows that stay scheduled across
-/// an `apply` cost nothing; only the allocation delta touches the
-/// calendar. The production [`simulate`](crate::simulate) event loop is a
-/// thin driver around this type.
-///
-/// # Example
-///
-/// ```
-/// use dcn_fabric::DeltaAllocator;
-/// use dcn_types::{FlowId, HostId, Rate, SimTime, Voq};
-///
-/// let voq = |s, d| Voq::new(HostId::new(s), HostId::new(d));
-/// let mut alloc = DeltaAllocator::new(Rate::from_gbps(10.0));
-///
-/// // Two flows admitted at t = 0: 1.25 MB completes after exactly 1 ms.
-/// let delta = alloc.apply(
-///     SimTime::ZERO,
-///     [(FlowId::new(1), voq(0, 1)), (FlowId::new(2), voq(2, 3))],
-///     |id| if id == FlowId::new(1) { 1_250_000 } else { 5_000_000 },
-/// );
-/// assert_eq!((delta.entered, delta.left, delta.kept), (2, 0, 0));
-/// assert_eq!(alloc.next_completion(), SimTime::from_millis(1.0));
-///
-/// // Re-applying the same matching is free: nothing enters or leaves,
-/// // drain epochs and calendar entries survive untouched.
-/// let delta = alloc.apply(
-///     SimTime::ZERO,
-///     [(FlowId::new(1), voq(0, 1)), (FlowId::new(2), voq(2, 3))],
-///     |_| unreachable!("no flow entered, so no remaining size is read"),
-/// );
-/// assert_eq!((delta.entered, delta.left, delta.kept), (0, 0, 2));
-///
-/// // Settle the first completion: flow 1 drains its 1.25 MB and is gone.
-/// let mut drained = Vec::new();
-/// let completed = alloc.settle(SimTime::from_millis(1.0), |d| {
-///     drained.push((d.flow, d.amount, d.completed));
-/// });
-/// assert!(completed);
-/// assert_eq!(drained[0], (FlowId::new(1), 1_250_000, true));
-/// assert_eq!(alloc.len(), 1);
-/// ```
-#[derive(Debug)]
-pub struct DeltaAllocator {
-    rate: Rate,
-    calendar: CompletionCalendar,
-    /// `flow → (position in order, generation)` — membership and
-    /// stay-detection only; the drain accounts live in `order`.
-    index: HashMap<FlowId, LiveSlot>,
-    /// The scheduled flows' drain accounts, contiguous, in
-    /// schedule-priority order — settling walks this vector exactly like
-    /// the reference engine walks its per-event entry vector. Between a
-    /// completing [`settle`](DeltaAllocator::settle) and the reschedule
-    /// that always follows it, completed flows linger as zero-owed
-    /// tombstones (absent from `index` and the calendar) so live
-    /// positions never shift outside [`apply`](DeltaAllocator::apply).
-    order: Vec<ScheduledEntry>,
-    /// Previous `order`, double-buffered for the generation sweep.
-    scratch: Vec<ScheduledEntry>,
-    /// Per-`scratch`-position "still selected" marks, so the sweep only
-    /// hash-probes the positions the new schedule did *not* re-claim
-    /// (leavers and completion tombstones — the delta, not the whole
-    /// schedule).
-    taken: Vec<bool>,
-    gen: u64,
-    stats: DeltaStats,
-}
-
-/// One settled drain reported by [`DeltaAllocator::settle`].
+/// One settled drain reported by the allocator's settlement paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SettledDrain {
     /// The draining flow.
@@ -195,6 +123,80 @@ pub struct SettledDrain {
     pub completed: bool,
 }
 
+/// Persistent, incrementally maintained binding of schedules to drain
+/// state and completion instants — the delta-rate rescheduling engine
+/// with lazy exact settlement.
+///
+/// Feed it the matching produced by any `Scheduler` after every event
+/// ([`apply`](DeltaAllocator::apply)); between events it answers "when
+/// does the next scheduled flow complete?" in `O(1)`
+/// ([`next_completion`](DeltaAllocator::next_completion)), settles only
+/// the flows owed a completion ([`settle_due`](DeltaAllocator::settle_due))
+/// or, at observation points, every account
+/// ([`settle`](DeltaAllocator::settle)) — in schedule-priority order
+/// either way, exactly as the eager reference engines emit drains. Flows
+/// that stay scheduled across an `apply` cost one pair comparison; only
+/// the allocation delta is hashed or touches the calendar. The production
+/// [`simulate`](crate::simulate) event loop is a thin driver around this
+/// type.
+///
+/// # Example
+///
+/// ```
+/// use dcn_fabric::DeltaAllocator;
+/// use dcn_types::{FlowId, HostId, Rate, SimTime, Voq};
+///
+/// let voq = |s, d| Voq::new(HostId::new(s), HostId::new(d));
+/// let mut alloc = DeltaAllocator::new(Rate::from_gbps(10.0));
+///
+/// // Two flows admitted at t = 0: 1.25 MB completes after exactly 1 ms.
+/// let delta = alloc.apply(
+///     SimTime::ZERO,
+///     vec![(FlowId::new(1), voq(0, 1)), (FlowId::new(2), voq(2, 3))],
+///     |id| if id == FlowId::new(1) { 1_250_000 } else { 5_000_000 },
+///     |_| unreachable!("nothing scheduled before, so nothing is evicted"),
+/// );
+/// assert_eq!((delta.entered, delta.left, delta.kept), (2, 0, 0));
+/// assert_eq!(alloc.next_completion(), SimTime::from_millis(1.0));
+///
+/// // Re-applying the same matching is free: the whole selection matches
+/// // positionally, so nothing is hashed, entered, or evicted.
+/// let delta = alloc.apply(
+///     SimTime::ZERO,
+///     vec![(FlowId::new(1), voq(0, 1)), (FlowId::new(2), voq(2, 3))],
+///     |_| unreachable!("no flow entered, so no remaining size is read"),
+///     |_| unreachable!("no flow left, so nothing is evicted"),
+/// );
+/// assert_eq!((delta.entered, delta.left, delta.kept), (0, 0, 2));
+///
+/// // Settle the due completion: flow 1 drains its 1.25 MB and is gone —
+/// // flow 2's account is not even looked at.
+/// let mut drained = Vec::new();
+/// let completed = alloc.settle_due(SimTime::from_millis(1.0), |d| {
+///     drained.push((d.flow, d.amount, d.completed));
+/// });
+/// assert!(completed);
+/// assert_eq!(drained, vec![(FlowId::new(1), 1_250_000, true)]);
+/// assert_eq!(alloc.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DeltaAllocator {
+    rate: Rate,
+    calendar: CompletionCalendar,
+    /// Byte accounts of the live scheduled flows.
+    entries: HashMap<FlowId, ScheduledEntry>,
+    /// `VOQ → scheduled flow` — the [`live_views`](DeltaAllocator::live_views)
+    /// lens resolves each VOQ's unsettled bytes through this (a matching
+    /// schedules at most one flow per VOQ).
+    by_voq: HashMap<Voq, FlowId>,
+    /// The previous selection in priority order — what `apply` diffs the
+    /// next selection against, and the order every settlement path emits
+    /// drains in. May contain *tombstones*: pairs whose flow completed
+    /// (and left `entries`) after this selection was applied.
+    sel: Vec<(FlowId, Voq)>,
+    stats: DeltaStats,
+}
+
 impl DeltaAllocator {
     /// An empty allocator whose scheduled flows drain at `rate` (the edge
     /// line rate under the one-big-switch abstraction).
@@ -202,23 +204,21 @@ impl DeltaAllocator {
         DeltaAllocator {
             rate,
             calendar: CompletionCalendar::new(),
-            index: HashMap::new(),
-            order: Vec::new(),
-            scratch: Vec::new(),
-            taken: Vec::new(),
-            gen: 0,
+            entries: HashMap::new(),
+            by_voq: HashMap::new(),
+            sel: Vec::new(),
             stats: DeltaStats::default(),
         }
     }
 
     /// Number of currently scheduled flows.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.entries.len()
     }
 
     /// Whether no flow is currently scheduled.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.entries.is_empty()
     }
 
     /// Cumulative delta statistics since construction.
@@ -240,70 +240,107 @@ impl DeltaAllocator {
     /// already scheduled keep their drain epoch and calendar entry
     /// untouched; flows entering open a fresh epoch at `now` over
     /// `remaining(flow)` bytes (read lazily, only for entrants); flows of
-    /// the previous schedule not re-selected are evicted. Cost:
-    /// `O(|selected|)` generation stamps plus `O(Δ log n)` calendar edits.
-    pub fn apply<I>(
+    /// the previous schedule not re-selected are settled to `now` — any
+    /// bytes they transmitted since their last observation are reported
+    /// through `on_evict`, never completing one (a due completion must be
+    /// settled before rescheduling) — and evicted.
+    ///
+    /// Cost: the matched prefix and suffix of the previous selection pay
+    /// one pair comparison each (no hashing, no copies); only the changed
+    /// middle window pays `O(Δ)` hash probes and `O(Δ log n)` calendar
+    /// edits. In the steady state of one arrival or completion per event,
+    /// that window is a handful of pairs regardless of schedule size.
+    pub fn apply(
         &mut self,
         now: SimTime,
-        selected: I,
+        selected: Vec<(FlowId, Voq)>,
         mut remaining: impl FnMut(FlowId) -> u64,
-    ) -> DeltaOutcome
-    where
-        I: IntoIterator<Item = (FlowId, Voq)>,
-    {
-        self.gen += 1;
-        let gen = self.gen;
-        std::mem::swap(&mut self.order, &mut self.scratch);
-        self.order.clear();
-        self.taken.clear();
-        self.taken.resize(self.scratch.len(), false);
-        let mut out = DeltaOutcome::default();
-        for (id, voq) in selected {
-            match self.index.entry(id) {
-                Entry::Occupied(mut slot) => {
-                    // A flow that stays scheduled keeps its drain epoch
-                    // (its completion instant is unchanged): its account
-                    // is copied over to the new priority position, with
-                    // no calendar work and no account reset — the whole
-                    // point. Positions into `scratch` are exact because
-                    // `settle` never shifts the vector.
-                    let s = slot.get_mut();
-                    debug_assert_ne!(s.gen, gen, "a flow may appear at most once per schedule");
-                    let entry = self.scratch[s.pos];
-                    debug_assert_eq!(entry.flow, id, "index position is stale");
-                    self.taken[s.pos] = true;
-                    s.pos = self.order.len();
-                    s.gen = gen;
-                    self.order.push(entry);
+        mut on_evict: impl FnMut(SettledDrain),
+    ) -> DeltaOutcome {
+        let old = std::mem::replace(&mut self.sel, selected);
+        let n_old = old.len();
+        let n_new = self.sel.len();
+
+        // Matched ends. A pair can only match a pair of the *same* flow,
+        // and a completed flow cannot reappear in a fresh schedule (it
+        // left the flow table), so matched pairs are always live kept
+        // flows — tombstones and every entrant/leaver/mover land in the
+        // middle window by construction.
+        let limit = n_old.min(n_new);
+        let mut lo = 0;
+        while lo < limit && old[lo] == self.sel[lo] {
+            lo += 1;
+        }
+        let mut hi = 0;
+        while hi < limit - lo && old[n_old - 1 - hi] == self.sel[n_new - 1 - hi] {
+            hi += 1;
+        }
+
+        let mut out = DeltaOutcome {
+            kept: (lo + hi) as u64,
+            ..DeltaOutcome::default()
+        };
+
+        // New-side window: classify entrants vs flows that merely moved
+        // position. A windowed flow that is still scheduled must also sit
+        // in the old window (it cannot occupy a matched position of the
+        // old selection without duplicating a pair), so the two windows
+        // are self-contained.
+        for &(id, voq) in &self.sel[lo..n_new - hi] {
+            match self.entries.entry(id) {
+                Entry::Occupied(slot) => {
+                    debug_assert_eq!(slot.get().voq, voq, "a flow's VOQ is fixed");
                     out.kept += 1;
                 }
                 Entry::Vacant(slot) => {
                     let entry = ScheduledEntry::new(id, voq, now, remaining(id), self.rate);
                     self.calendar.update(id, entry.completes_at);
-                    slot.insert(LiveSlot {
-                        pos: self.order.len(),
-                        gen,
-                    });
-                    self.order.push(entry);
+                    self.by_voq.insert(voq, id);
+                    slot.insert(entry);
                     out.entered += 1;
                 }
             }
         }
-        // Sweep the *previous* order for positions the new schedule did
-        // not re-claim: flows still indexed there have left and are
-        // evicted; completed flows were already evicted by `settle` and
-        // their tombstones fail the lookup. Only this delta is hashed —
-        // kept flows were marked taken above.
-        for i in 0..self.scratch.len() {
-            if self.taken[i] {
-                continue;
-            }
-            let id = self.scratch[i].flow;
-            if self.index.remove(&id).is_some() {
+
+        // Old-side window: anything not re-selected has left (or is a
+        // completion tombstone, already absent from `entries`). Leavers
+        // settle to `now` first so the bytes they moved while scheduled
+        // are never lost — in eager mode every account was settled this
+        // instant already, so the owed amount is zero and no drain fires.
+        if lo + hi < n_old {
+            let reselected: HashSet<FlowId> =
+                self.sel[lo..n_new - hi].iter().map(|&(id, _)| id).collect();
+            for &(id, _) in &old[lo..n_old - hi] {
+                if reselected.contains(&id) {
+                    continue;
+                }
+                let Some(entry) = self.entries.remove(&id) else {
+                    continue; // completion tombstone, swept for free
+                };
                 self.calendar.remove(id);
+                // An entrant may have re-bound this VOQ already (same
+                // src-dst preemption); only unbind if the slot is still
+                // ours.
+                if self.by_voq.get(&entry.voq) == Some(&id) {
+                    self.by_voq.remove(&entry.voq);
+                }
+                let owed = entry.target_at(now, self.rate) - entry.settled;
+                if owed > 0 {
+                    debug_assert!(
+                        entry.settled + owed < entry.epoch_remaining,
+                        "a due completion must settle before the reschedule evicts it"
+                    );
+                    on_evict(SettledDrain {
+                        flow: id,
+                        voq: entry.voq,
+                        amount: owed,
+                        completed: false,
+                    });
+                }
                 out.left += 1;
             }
         }
+
         self.stats.reschedules += 1;
         self.stats.entered += out.entered;
         self.stats.left += out.left;
@@ -311,66 +348,121 @@ impl DeltaAllocator {
         out
     }
 
+    /// Settles the byte account of one live flow at instant `t`,
+    /// evicting it first if the settlement completes it.
+    fn settle_one(&mut self, id: FlowId, t: SimTime, on_drain: &mut impl FnMut(SettledDrain)) {
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return;
+        };
+        let target = entry.target_at(t, self.rate);
+        let amount = target - entry.settled;
+        if amount == 0 {
+            return;
+        }
+        entry.settled = target;
+        let completed = entry.settled == entry.epoch_remaining;
+        let voq = entry.voq;
+        if completed {
+            self.entries.remove(&id);
+            self.calendar.remove(id);
+            self.by_voq.remove(&voq);
+        }
+        on_drain(SettledDrain {
+            flow: id,
+            voq,
+            amount,
+            completed,
+        });
+    }
+
+    /// Settles exactly the flows owed a completion at instant `t` — the
+    /// lazy engine's per-event settlement. Usually that is one flow (the
+    /// completion that woke the event loop), popped from the calendar in
+    /// amortized `O(log n)`; simultaneous completions (rare byte-exact
+    /// ties) are re-ordered into schedule priority before their callbacks
+    /// run, so the drain stream is emitted exactly as the eager path
+    /// would. Every other scheduled flow's account is untouched. Returns
+    /// whether any flow completed.
+    pub fn settle_due(&mut self, t: SimTime, mut on_drain: impl FnMut(SettledDrain)) -> bool {
+        let Some(first) = self.calendar.pop_due(t) else {
+            return false;
+        };
+        match self.calendar.pop_due(t) {
+            None => {
+                // The common case: one completion, zero touches elsewhere.
+                self.settle_one(first, t, &mut on_drain);
+            }
+            Some(second) => {
+                let mut due: HashSet<FlowId> = HashSet::from([first, second]);
+                while let Some(next) = self.calendar.pop_due(t) {
+                    due.insert(next);
+                }
+                let ordered: Vec<FlowId> = self
+                    .sel
+                    .iter()
+                    .map(|&(id, _)| id)
+                    .filter(|id| due.contains(id))
+                    .collect();
+                debug_assert_eq!(ordered.len(), due.len());
+                for id in ordered {
+                    self.settle_one(id, t, &mut on_drain);
+                }
+            }
+        }
+        true
+    }
+
     /// Settles every scheduled flow's byte account at instant `t`,
     /// invoking `on_drain` once per flow that owes bytes — in schedule
     /// priority order, exactly as the reference engine emits drains.
     /// Completing flows are evicted from the allocator (and calendar)
     /// before their callback runs. Returns whether any flow completed.
+    ///
+    /// This is the *observation* settlement: the eager mode runs it on
+    /// every event; the lazy mode only at sample instants, the horizon,
+    /// and snapshots, where per-flow exactness is demanded all at once.
     pub fn settle(&mut self, t: SimTime, mut on_drain: impl FnMut(SettledDrain)) -> bool {
         let mut completed_any = false;
-        // A contiguous scan with zero hashing — the same cache behavior as
-        // the reference engine's per-event entry vector. Tombstones of
-        // earlier completions owe nothing and fall through the `amount == 0`
-        // skip.
-        for entry in &mut self.order {
-            let target = entry.target_at(t, self.rate);
-            let amount = target - entry.settled;
-            if amount == 0 {
-                continue;
-            }
-            entry.settled = target;
-            let completed = entry.settled == entry.epoch_remaining;
-            if completed {
-                // Evict from the index and calendar now (so the next
-                // `next_completion` moves past this instant), but leave
-                // the entry in place as a tombstone: the reschedule every
-                // completion triggers sweeps it, and live positions stay
-                // exact in the meantime.
-                completed_any = true;
-                self.index.remove(&entry.flow);
-                self.calendar.remove(entry.flow);
-            }
-            on_drain(SettledDrain {
-                flow: entry.flow,
-                voq: entry.voq,
-                amount,
-                completed,
+        // `settle_one` mutates `entries` but never `sel`, so the walk
+        // over a clone-free snapshot of the priority order is sound; the
+        // explicit index keeps the borrow checker out of the closure.
+        for i in 0..self.sel.len() {
+            let id = self.sel[i].0;
+            self.settle_one(id, t, &mut |d| {
+                completed_any |= d.completed;
+                on_drain(d);
             });
         }
         completed_any
     }
 
+    /// A [`ViewAdjust`] lens over this allocator's unsettled bytes at
+    /// instant `now`: adjusting a [`VoqView`] subtracts the VOQ's
+    /// scheduled flow's unsettled drain from the backlog and re-derives
+    /// the champion under the table's exact `(remaining, id)` tie-break,
+    /// so a scheduler deciding from adjusted views sees precisely the
+    /// views an eagerly settled table would serve. `O(1)` per VOQ.
+    pub fn live_views(&self, now: SimTime) -> LiveViews<'_> {
+        LiveViews { alloc: self, now }
+    }
+
     /// The live scheduled entries in priority order — the allocator's half
     /// of an engine snapshot ([`crate::OnlineFabric::snapshot`]).
     /// Tombstones of completions that have settled but not yet been swept
-    /// by the next [`apply`](DeltaAllocator::apply) are excluded: an entry
-    /// is live iff the index still points at its position.
+    /// by the next [`apply`](DeltaAllocator::apply) are excluded.
     pub(crate) fn snapshot_entries(&self) -> Vec<ScheduledEntry> {
-        self.order
+        self.sel
             .iter()
-            .enumerate()
-            .filter(|(i, e)| self.index.get(&e.flow).is_some_and(|s| s.pos == *i))
-            .map(|(_, e)| *e)
+            .filter_map(|(id, _)| self.entries.get(id))
+            .copied()
             .collect()
     }
 
     /// Rebuilds an allocator from snapshotted live entries (in priority
-    /// order) and cumulative stats. The index and calendar are
-    /// reconstructed from the entries' exact `completes_at` instants, so a
-    /// restored allocator settles, completes, and reschedules bit-for-bit
-    /// like the one that was snapshotted; the generation counter restarts
-    /// at zero, which is unobservable (generations only detect stays
-    /// within one `apply`).
+    /// order) and cumulative stats. The selection, index, and calendar are
+    /// reconstructed from the entries' exact accounts, so a restored
+    /// allocator settles, completes, and reschedules bit-for-bit like the
+    /// one that was snapshotted.
     pub(crate) fn restore(
         rate: Rate,
         entries: impl IntoIterator<Item = ScheduledEntry>,
@@ -380,58 +472,64 @@ impl DeltaAllocator {
         alloc.stats = stats;
         for entry in entries {
             alloc.calendar.update(entry.flow, entry.completes_at);
-            let replaced = alloc.index.insert(
-                entry.flow,
-                LiveSlot {
-                    pos: alloc.order.len(),
-                    gen: 0,
-                },
-            );
+            let replaced = alloc.entries.insert(entry.flow, entry);
             debug_assert!(
                 replaced.is_none(),
                 "snapshot entries must be unique per flow"
             );
-            alloc.order.push(entry);
+            alloc.by_voq.insert(entry.voq, entry.flow);
+            alloc.sel.push((entry.flow, entry.voq));
         }
         alloc
     }
 
-    /// Consistency check: the calendar's live set mirrors the allocator's
-    /// index exactly (same flows, same instants), and every indexed
-    /// position points at its own flow's entry in the priority-order
-    /// vector. Linear; intended for tests.
+    /// Consistency check: the calendar's live set, the VOQ index, and the
+    /// selection all mirror the entry map exactly (same flows, same
+    /// instants, priority order covering every live flow once). Linear;
+    /// intended for tests.
     pub fn check_consistent(&mut self) -> Result<(), String> {
-        if self.order.len() < self.index.len() {
-            return Err(format!(
-                "{} entries in priority order but {} live",
-                self.order.len(),
-                self.index.len()
-            ));
-        }
-        if self.calendar.len() != self.index.len() {
+        if self.calendar.len() != self.entries.len() {
             return Err(format!(
                 "{} calendar entries but {} live flows",
                 self.calendar.len(),
-                self.index.len()
+                self.entries.len()
             ));
         }
+        if self.by_voq.len() != self.entries.len() {
+            return Err(format!(
+                "{} VOQ index entries but {} live flows",
+                self.by_voq.len(),
+                self.entries.len()
+            ));
+        }
+        let mut seen = HashSet::new();
         let mut want = SimTime::INFINITY;
-        for (id, slot) in &self.index {
-            match self.order.get(slot.pos) {
-                None => {
-                    return Err(format!(
-                        "flow {id} indexes position {} out of bounds",
-                        slot.pos
-                    ))
-                }
-                Some(entry) if entry.flow != *id => {
-                    return Err(format!(
-                        "flow {id} indexes position {} held by flow {}",
-                        slot.pos, entry.flow
-                    ))
-                }
-                Some(entry) => want = want.min(entry.completes_at),
+        for &(id, voq) in &self.sel {
+            let Some(entry) = self.entries.get(&id) else {
+                continue; // completion tombstone
+            };
+            if !seen.insert(id) {
+                return Err(format!("flow {id} appears twice in the selection"));
             }
+            if entry.voq != voq {
+                return Err(format!(
+                    "flow {id} selected on {voq:?}, bound to a different VOQ"
+                ));
+            }
+            if self.by_voq.get(&voq) != Some(&id) {
+                return Err(format!("VOQ index does not map {voq:?} to flow {id}"));
+            }
+            if entry.settled > entry.epoch_remaining {
+                return Err(format!("flow {id} settled beyond its epoch"));
+            }
+            want = want.min(entry.completes_at);
+        }
+        if seen.len() != self.entries.len() {
+            return Err(format!(
+                "selection covers {} live flows but {} are live",
+                seen.len(),
+                self.entries.len()
+            ));
         }
         if self.calendar.next_completion() != want {
             return Err(format!(
@@ -440,6 +538,43 @@ impl DeltaAllocator {
             ));
         }
         Ok(())
+    }
+}
+
+/// The settlement-adjusting view lens lent by
+/// [`DeltaAllocator::live_views`]: corrects each [`VoqView`] for the
+/// bytes its scheduled flow has transmitted but not yet settled into the
+/// table, reproducing the exact views of an eagerly settled table.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveViews<'a> {
+    alloc: &'a DeltaAllocator,
+    now: SimTime,
+}
+
+impl ViewAdjust for LiveViews<'_> {
+    fn adjust(&self, view: &mut VoqView) {
+        let Some(&flow) = self.alloc.by_voq.get(&view.voq) else {
+            return; // no flow of this VOQ is transmitting
+        };
+        let entry = &self.alloc.entries[&flow];
+        let target = entry.target_at(self.now, self.alloc.rate);
+        let owed = target - entry.settled;
+        if owed == 0 {
+            return;
+        }
+        view.backlog -= owed;
+        let live = entry.epoch_remaining - target;
+        debug_assert!(live > 0, "due completions settle before views are read");
+        if view.shortest_flow == flow {
+            // The champion itself drained: smaller key, still champion
+            // (no other flow of the VOQ moved).
+            view.shortest_remaining -= owed;
+        } else if (live, flow) < (view.shortest_remaining, view.shortest_flow) {
+            // The transmitting flow's live remaining now beats the stored
+            // champion under the table's exact (remaining, id) tie-break.
+            view.shortest_flow = flow;
+            view.shortest_remaining = live;
+        }
     }
 }
 
@@ -511,27 +646,44 @@ mod tests {
         Rate::from_gbps(10.0)
     }
 
+    fn no_evict(d: SettledDrain) {
+        panic!("unexpected eviction drain: {d:?}");
+    }
+
     #[test]
     fn entrants_open_epochs_and_leavers_are_evicted() {
         let mut alloc = DeltaAllocator::new(gbps10());
         let d = alloc.apply(
             SimTime::ZERO,
-            [(f(1), voq(0, 1)), (f(2), voq(2, 3))],
+            vec![(f(1), voq(0, 1)), (f(2), voq(2, 3))],
             |_| 1_250_000,
+            no_evict,
         );
         assert_eq!((d.entered, d.left, d.kept), (2, 0, 0));
         alloc.check_consistent().unwrap();
 
-        // Flow 2 is preempted by flow 3; flow 1 stays.
+        // Flow 2 is preempted by flow 3; flow 1 stays. The leaver settles
+        // its 10 µs of line-rate bytes (12 500) on the way out.
+        let mut evicted = Vec::new();
         let d = alloc.apply(
             SimTime::from_micros(10.0),
-            [(f(1), voq(0, 1)), (f(3), voq(2, 4))],
+            vec![(f(1), voq(0, 1)), (f(3), voq(2, 4))],
             |id| {
                 assert_eq!(id, f(3), "remaining read only for entrants");
                 2_500_000
             },
+            |drain| evicted.push(drain),
         );
         assert_eq!((d.entered, d.left, d.kept), (1, 1, 1));
+        assert_eq!(
+            evicted,
+            vec![SettledDrain {
+                flow: f(2),
+                voq: voq(2, 3),
+                amount: 12_500,
+                completed: false,
+            }]
+        );
         assert_eq!(alloc.len(), 2);
         alloc.check_consistent().unwrap();
         // Flow 1's epoch survived: it still completes at its original
@@ -542,11 +694,11 @@ mod tests {
     #[test]
     fn stays_cost_no_calendar_work() {
         let mut alloc = DeltaAllocator::new(gbps10());
-        let sched = [(f(1), voq(0, 1)), (f(2), voq(2, 3))];
-        alloc.apply(SimTime::ZERO, sched, |_| 10_000_000);
+        let sched = vec![(f(1), voq(0, 1)), (f(2), voq(2, 3))];
+        alloc.apply(SimTime::ZERO, sched.clone(), |_| 10_000_000, no_evict);
         let stats_before = alloc.stats();
         for _ in 0..50 {
-            let d = alloc.apply(SimTime::ZERO, sched, |_| unreachable!());
+            let d = alloc.apply(SimTime::ZERO, sched.clone(), |_| unreachable!(), no_evict);
             assert_eq!((d.entered, d.left, d.kept), (0, 0, 2));
         }
         let stats = alloc.stats();
@@ -562,14 +714,9 @@ mod tests {
         // 1250 bytes = 1 µs at 10 Gbps; flow 2 is 10× longer.
         alloc.apply(
             SimTime::ZERO,
-            [(f(2), voq(2, 3)), (f(1), voq(0, 1))],
-            |id| {
-                if id == f(1) {
-                    1_250
-                } else {
-                    12_500
-                }
-            },
+            vec![(f(2), voq(2, 3)), (f(1), voq(0, 1))],
+            |id| if id == f(1) { 1_250 } else { 12_500 },
+            no_evict,
         );
         let mut seen = Vec::new();
         let completed = alloc.settle(SimTime::from_micros(1.0), |d| seen.push(d));
@@ -590,21 +737,142 @@ mod tests {
     }
 
     #[test]
+    fn settle_due_touches_only_the_completing_flow() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        alloc.apply(
+            SimTime::ZERO,
+            vec![(f(2), voq(2, 3)), (f(1), voq(0, 1))],
+            |id| if id == f(1) { 1_250 } else { 12_500 },
+            no_evict,
+        );
+        // Before the completion instant there is nothing due.
+        assert!(!alloc.settle_due(SimTime::from_micros(0.5), |_| panic!("nothing due")));
+
+        let mut seen = Vec::new();
+        assert!(alloc.settle_due(SimTime::from_micros(1.0), |d| seen.push(d)));
+        assert_eq!(
+            seen,
+            vec![SettledDrain {
+                flow: f(1),
+                voq: voq(0, 1),
+                amount: 1_250,
+                completed: true,
+            }],
+            "only the due flow settles; flow 2's account is untouched"
+        );
+        assert_eq!(alloc.len(), 1);
+
+        // Flow 2's unsettled progress is still fully recoverable: a full
+        // settlement at 10 µs reports all 10 µs of bytes in one drain.
+        let mut seen = Vec::new();
+        alloc.settle(SimTime::from_micros(10.0), |d| seen.push(d));
+        assert_eq!(
+            seen,
+            vec![SettledDrain {
+                flow: f(2),
+                voq: voq(2, 3),
+                amount: 12_500,
+                completed: true,
+            }]
+        );
+        alloc.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn simultaneous_due_completions_settle_in_priority_order() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        // Three identical sizes complete at the same instant; priority
+        // order (the order applied) must be preserved in the callbacks,
+        // not the calendar's id-order pops.
+        alloc.apply(
+            SimTime::ZERO,
+            vec![(f(3), voq(4, 5)), (f(1), voq(0, 1)), (f(2), voq(2, 3))],
+            |_| 1_250,
+            no_evict,
+        );
+        let mut order = Vec::new();
+        assert!(alloc.settle_due(SimTime::from_micros(1.0), |d| {
+            assert!(d.completed);
+            order.push(d.flow);
+        }));
+        assert_eq!(order, vec![f(3), f(1), f(2)]);
+        assert!(alloc.is_empty());
+        alloc.check_consistent().unwrap();
+    }
+
+    #[test]
     fn returning_flow_opens_a_fresh_epoch() {
         let mut alloc = DeltaAllocator::new(gbps10());
-        alloc.apply(SimTime::ZERO, [(f(1), voq(0, 1))], |_| 12_500_000); // 10 ms
+        alloc.apply(
+            SimTime::ZERO,
+            vec![(f(1), voq(0, 1))],
+            |_| 12_500_000,
+            no_evict,
+        ); // 10 ms
         alloc.settle(SimTime::from_millis(1.0), |_| {});
-        // Preempted at 1 ms with 9 ms of bytes left…
-        let d = alloc.apply(SimTime::from_millis(1.0), [(f(2), voq(0, 2))], |_| 1_250);
+        // Preempted at 1 ms with 9 ms of bytes left (already settled, so
+        // the eviction owes nothing)…
+        let d = alloc.apply(
+            SimTime::from_millis(1.0),
+            vec![(f(2), voq(0, 2))],
+            |_| 2_500_000,
+            no_evict,
+        );
         assert_eq!((d.entered, d.left), (1, 1));
         // …and re-admitted at 2 ms: completion is 2 ms + 9 ms, a fresh
-        // epoch over the *current* remaining bytes.
-        let d = alloc.apply(SimTime::from_millis(2.0), [(f(1), voq(0, 1))], |id| {
-            assert_eq!(id, f(1));
-            11_250_000
-        });
+        // epoch over the *current* remaining bytes. Flow 2 ran unsettled
+        // for 1 ms, so its eviction owes exactly that drain.
+        let mut evicted = Vec::new();
+        let d = alloc.apply(
+            SimTime::from_millis(2.0),
+            vec![(f(1), voq(0, 1))],
+            |id| {
+                assert_eq!(id, f(1));
+                11_250_000
+            },
+            |drain| evicted.push(drain),
+        );
         assert_eq!((d.entered, d.left), (1, 1));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].flow, f(2));
+        assert_eq!(evicted[0].amount, 1_250_000);
+        assert!(!evicted[0].completed);
         assert_eq!(alloc.next_completion(), SimTime::from_millis(11.0));
+        alloc.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn same_voq_preemption_keeps_the_voq_index_bound() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        // Two flows between the same host pair: the shorter preempts the
+        // longer on the SAME VOQ. The entrant binds the VOQ slot in the
+        // new-side window before the leaver's cleanup runs, so the
+        // cleanup must not unbind it.
+        alloc.apply(
+            SimTime::ZERO,
+            vec![(f(1), voq(0, 1))],
+            |_| 1_250_000,
+            no_evict,
+        );
+        let mut evicted = Vec::new();
+        alloc.apply(
+            SimTime::from_micros(1.0),
+            vec![(f(2), voq(0, 1))],
+            |_| 1_250,
+            |d| evicted.push(d),
+        );
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].flow, f(1));
+        assert_eq!(evicted[0].amount, 1_250);
+        alloc.check_consistent().unwrap();
+        // The entrant is still reachable through the VOQ index: its
+        // completion settles normally.
+        let mut done = Vec::new();
+        assert!(alloc.settle_due(SimTime::from_micros(2.0), |d| done.push(d)));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].flow, f(2));
+        assert!(done[0].completed);
+        assert!(alloc.is_empty());
         alloc.check_consistent().unwrap();
     }
 
@@ -613,14 +881,118 @@ mod tests {
         let mut alloc = DeltaAllocator::new(gbps10());
         alloc.apply(
             SimTime::ZERO,
-            [(f(1), voq(0, 1)), (f(2), voq(2, 3))],
+            vec![(f(1), voq(0, 1)), (f(2), voq(2, 3))],
             |_| 1_000,
+            no_evict,
         );
-        let d = alloc.apply(SimTime::ZERO, [], |_| unreachable!());
+        let d = alloc.apply(SimTime::ZERO, vec![], |_| unreachable!(), no_evict);
         assert_eq!((d.entered, d.left, d.kept), (0, 2, 0));
         assert!(alloc.is_empty());
         assert_eq!(alloc.next_completion(), SimTime::INFINITY);
         alloc.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn positional_shift_after_a_completion_stays_cheap() {
+        let mut alloc = DeltaAllocator::new(gbps10());
+        // Flow 1 completes first; the tail of the selection shifts by one
+        // position but matches suffix-wise, so the re-apply without flow 1
+        // is all kept flows, no entrants, no leavers.
+        alloc.apply(
+            SimTime::ZERO,
+            vec![(f(1), voq(0, 1)), (f(2), voq(2, 3)), (f(3), voq(4, 5))],
+            |id| if id == f(1) { 1_250 } else { 12_500 },
+            no_evict,
+        );
+        assert!(alloc.settle_due(SimTime::from_micros(1.0), |d| assert_eq!(d.flow, f(1))));
+        let d = alloc.apply(
+            SimTime::from_micros(1.0),
+            vec![(f(2), voq(2, 3)), (f(3), voq(4, 5))],
+            |_| unreachable!("both flows stay scheduled"),
+            no_evict,
+        );
+        assert_eq!((d.entered, d.left, d.kept), (0, 0, 2));
+        alloc.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn live_views_adjusts_backlog_and_champion_exactly() {
+        use basrpt_core::{FlowState, FlowTable};
+
+        let mut table = FlowTable::new();
+        let q = voq(0, 1);
+        // Flow 1 transmits (12 500 bytes); flow 2 waits with 5 000.
+        table.insert(FlowState::new(f(1), q, 12_500)).unwrap();
+        table.insert(FlowState::new(f(2), q, 5_000)).unwrap();
+        let mut alloc = DeltaAllocator::new(gbps10());
+        alloc.apply(SimTime::ZERO, vec![(f(1), q)], |_| 12_500, no_evict);
+
+        let view_at = |table: &FlowTable, alloc: &DeltaAllocator, t: SimTime| {
+            let mut view = table.voqs().next().unwrap();
+            alloc.live_views(t).adjust(&mut view);
+            view
+        };
+
+        // 2 µs in: flow 1 has moved 2 500 unsettled bytes. Its live
+        // remaining (10 000) still loses to flow 2's 5 000.
+        let v = view_at(&table, &alloc, SimTime::from_micros(2.0));
+        assert_eq!(v.backlog, 15_000);
+        assert_eq!(v.shortest_flow, f(2));
+        assert_eq!(v.shortest_remaining, 5_000);
+
+        // 7 µs in: flow 1's live remaining (3 750) now beats flow 2 —
+        // the lens must hand the champion over.
+        let v = view_at(&table, &alloc, SimTime::from_micros(7.0));
+        assert_eq!(v.backlog, 8_750);
+        assert_eq!(v.shortest_flow, f(1));
+        assert_eq!(v.shortest_remaining, 3_750);
+
+        // After settling, the adjusted view and the raw view agree: the
+        // lens is exactly "the table as if settled".
+        let mut drained = 0;
+        alloc.settle(SimTime::from_micros(7.0), |d| {
+            table.drain(d.flow, d.amount).unwrap();
+            drained += d.amount;
+        });
+        assert_eq!(drained, 8_750);
+        let raw = table.voqs().next().unwrap();
+        let v = view_at(&table, &alloc, SimTime::from_micros(7.0));
+        assert_eq!(v.backlog, raw.backlog);
+        assert_eq!(v.shortest_flow, raw.shortest_flow);
+        assert_eq!(v.shortest_remaining, raw.shortest_remaining);
+    }
+
+    #[test]
+    fn live_views_honors_the_id_tie_break() {
+        use basrpt_core::{FlowState, FlowTable};
+
+        let mut table = FlowTable::new();
+        let q = voq(0, 1);
+        // Flow 5 transmits; flow 2 waits. After 1 µs (1 250 bytes) flow
+        // 5's live remaining exactly ties flow 2's — and the lens must
+        // keep flow 2, the smaller id, exactly as a settled table would.
+        table.insert(FlowState::new(f(5), q, 5_000)).unwrap();
+        table.insert(FlowState::new(f(2), q, 3_750)).unwrap();
+        let mut alloc = DeltaAllocator::new(gbps10());
+        alloc.apply(SimTime::ZERO, vec![(f(5), q)], |_| 5_000, no_evict);
+
+        let mut view = table.voqs().next().unwrap();
+        assert_eq!(view.shortest_flow, f(2));
+        alloc
+            .live_views(SimTime::from_micros(1.0))
+            .adjust(&mut view);
+        assert_eq!(view.shortest_flow, f(2), "equal remaining: smaller id wins");
+        assert_eq!(view.shortest_remaining, 3_750);
+        assert_eq!(view.backlog, 8_750 - 1_250);
+
+        // A hair later the transmitting flow is strictly shorter and
+        // takes the championship over.
+        let mut view = table.voqs().next().unwrap();
+        alloc
+            .live_views(SimTime::from_micros(1.6))
+            .adjust(&mut view);
+        assert_eq!(view.shortest_flow, f(5));
+        assert_eq!(view.shortest_remaining, 3_000);
     }
 
     #[test]

@@ -341,22 +341,17 @@ impl ScheduledEntry {
             epoch: now,
             epoch_remaining: remaining,
             settled: 0,
-            completes_at: now + rate.transfer_time(Bytes::new(remaining)),
+            completes_at: crate::settle::completion_instant(now, remaining, rate),
         }
     }
 
     /// Cumulative bytes owed by instant `t`: a single conversion of the
     /// total elapsed time since the epoch, clamped to the entry's size and
     /// forced to exactly `epoch_remaining` at (or past) the analytic
-    /// completion instant.
+    /// completion instant — [`crate::settle_drain_target`], the one
+    /// settlement formula every engine shares.
     pub(crate) fn target_at(&self, t: SimTime, rate: Rate) -> u64 {
-        if t >= self.completes_at {
-            self.epoch_remaining
-        } else {
-            rate.bytes_in(t - self.epoch)
-                .as_u64()
-                .min(self.epoch_remaining)
-        }
+        crate::settle::drain_target(self.epoch, self.completes_at, self.epoch_remaining, rate, t)
     }
 }
 

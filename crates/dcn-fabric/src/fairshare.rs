@@ -50,6 +50,15 @@
 //! epoch and pay a [`CompletionCalendar`] edit — a flow whose fair share
 //! is unaffected keeps its epoch, so its completion instant (and every
 //! output bit) is invariant to unrelated churn.
+//!
+//! The production loop also settles byte accounts **lazily** (see
+//! [`crate::settle`]): per event only the flows actually *due* drain into
+//! the table, and an unchanged-rate flow's account is left untouched
+//! until a sample instant, the horizon, or its own rate change observes
+//! it. Because each account settles through the same exact
+//! `drain_target` conversion no matter when it is read, lazy and eager
+//! runs are bit-identical — the naive reference stays eager and
+//! `tests/fairshare_differential.rs` pins exactly that.
 
 use crate::calendar::CompletionCalendar;
 use crate::engine::{validate_arrival, FabricError, FabricRun, FlowMeta, SimConfig};
@@ -382,19 +391,18 @@ impl FairEntry {
             epoch: now,
             epoch_remaining: remaining,
             settled: 0,
-            completes_at: now + rate.transfer_time(Bytes::new(remaining)),
+            completes_at: crate::settle::completion_instant(now, remaining, rate),
         }
     }
 
     fn target_at(&self, t: SimTime) -> u64 {
-        if t >= self.completes_at {
-            self.epoch_remaining
-        } else {
-            self.rate
-                .bytes_in(t - self.epoch)
-                .as_u64()
-                .min(self.epoch_remaining)
-        }
+        crate::settle::drain_target(
+            self.epoch,
+            self.completes_at,
+            self.epoch_remaining,
+            self.rate,
+            t,
+        )
     }
 }
 
@@ -502,6 +510,7 @@ pub fn simulate_fair_share_probed<T: Topology + ?Sized, P: Probe>(
         probe,
         CalendarFairLookup::default(),
         |flows, rates| alloc.allocate(flows, rates),
+        true,
     )
 }
 
@@ -523,6 +532,7 @@ pub(crate) fn run_fair_share_naive<T: Topology + ?Sized, P: Probe>(
         probe,
         ScanFairLookup,
         |flows, rates| waterfill_naive(&spec, flows, rates),
+        false,
     )
 }
 
@@ -531,6 +541,14 @@ pub(crate) fn run_fair_share_naive<T: Topology + ?Sized, P: Probe>(
 /// suite varies. Mirrors the matching engine's event ordering within an
 /// instant: completions settle first, then arrivals, then the sample,
 /// then the reallocation.
+///
+/// `lazy_capable` opts the loop into lazy exact settlement (see
+/// [`crate::settle`]): the production calendar path passes `true`, the
+/// naive reference `false` so it stays the eagerly settled yardstick.
+/// The mode is still forced eager when the probe wants per-flow drain
+/// fidelity or `BASRPT_SETTLE=eager` is set, and lazy/eager runs are
+/// bit-identical either way — only *when* accounts settle moves.
+#[allow(clippy::too_many_arguments)]
 fn run_fair_loop<T, P, L, A>(
     topo: &T,
     generator: impl IntoIterator<Item = FlowArrival>,
@@ -538,6 +556,7 @@ fn run_fair_loop<T, P, L, A>(
     probe: P,
     mut lookup: L,
     mut allocate: A,
+    lazy_capable: bool,
 ) -> Result<FabricRun, FabricError>
 where
     T: Topology + ?Sized,
@@ -545,6 +564,7 @@ where
     L: FairLookup,
     A: FnMut(&[(FlowId, Voq)], &mut Vec<f64>),
 {
+    let mode = crate::settle::SettleMode::choose(probe.wants_flow_fidelity(), lazy_capable);
     let mut generator = generator.into_iter();
 
     let mut table = FlowTable::new();
@@ -578,13 +598,23 @@ where
             .min(next_sample)
             .min(config.horizon);
 
-        // --- advance: settle every transmitting flow's account at t ---
+        // --- advance: settle transmitting flows' accounts at t ---
+        // Eager mode settles every account at every event; lazy mode
+        // settles only the flows *due* at t (one linear scan of cheap
+        // compares, no table or meter work for the rest), deferring the
+        // others until a sample instant, the horizon, or their own rate
+        // change observes them.
+        let observe_all = !mode.is_lazy() || next_sample <= t || t >= config.horizon;
         let elapsed = t - clock;
         let mut completed_any = false;
         if elapsed > SimTime::ZERO {
             let mut i = 0;
             while i < entries.len() {
                 let entry = &mut entries[i];
+                if !observe_all && t < entry.completes_at {
+                    i += 1;
+                    continue;
+                }
                 let target = entry.target_at(t);
                 let amount = target - entry.settled;
                 if amount == 0 {
@@ -695,13 +725,38 @@ where
                         entries.push(old);
                     }
                     had_entry => {
-                        if rate.is_zero() {
-                            // Pathological rounding can starve a flow for
-                            // one epoch; it re-enters at the next event.
-                            if had_entry.is_some() {
+                        if let Some(old) = had_entry {
+                            // A rate change (or starvation) re-opens the
+                            // epoch over the *current* remaining bytes, so
+                            // any unsettled residue must drain first — in
+                            // eager mode the advance phase already settled
+                            // it and this owes nothing.
+                            let target = old.target_at(clock);
+                            let amount = target - old.settled;
+                            if amount > 0 {
+                                debug_assert!(
+                                    target < old.epoch_remaining,
+                                    "due completions settle in the advance phase"
+                                );
+                                let outcome =
+                                    table.drain(id, amount).expect("allocated flow is active");
+                                debug_assert_eq!(outcome.drained, amount);
+                                throughput.deliver(Bytes::new(outcome.drained));
+                                fan.on_drain(&DrainEvent {
+                                    time: clock.as_secs(),
+                                    flow: id,
+                                    voq,
+                                    amount: outcome.drained,
+                                });
+                            }
+                            if rate.is_zero() {
                                 lookup.remove(id);
                             }
-                        } else {
+                        }
+                        if !rate.is_zero() {
+                            // A zero rate is pathological rounding: the
+                            // flow starves for one epoch and re-enters at
+                            // the next event.
                             let remaining =
                                 table.get(id).expect("allocated flow is active").remaining();
                             let entry = FairEntry::new(id, voq, clock, remaining, rate);
@@ -937,6 +992,37 @@ mod tests {
         );
         assert_eq!(a.mean_secs.to_bits(), b.mean_secs.to_bits());
         assert_eq!(a.max_secs.to_bits(), b.max_secs.to_bits());
+    }
+
+    #[test]
+    fn lazy_and_eager_fair_loops_agree_bitwise() {
+        // A probe with the default `wants_flow_fidelity` forces eager
+        // settlement; `NoProbe` leaves the production loop lazy. Both
+        // must produce bit-identical runs.
+        struct EagerProbe;
+        impl Probe for EagerProbe {}
+
+        let topo = FatTree::scaled(3, 4, 1).unwrap();
+        let arrivals = vec![
+            arrival(0, 0.0, 0, 4, 2_000_000),
+            arrival(1, 0.0001, 0, 5, 40_000),
+            arrival(2, 0.0002, 4, 8, 1_000_000),
+            arrival(3, 0.0003, 8, 0, 7_777),
+            arrival(4, 0.0004, 1, 0, 250_000),
+            arrival(5, 0.0005, 2, 4, 555_555),
+        ];
+        let cfg = config(0.01);
+        let lazy = simulate_fair_share(&topo, arrivals.clone(), cfg).unwrap();
+        let eager = simulate_fair_share_probed(&topo, arrivals, cfg, EagerProbe).unwrap();
+        assert_eq!(lazy.completions, eager.completions);
+        assert_eq!(lazy.reschedules, eager.reschedules);
+        assert_eq!(lazy.arrived_bytes, eager.arrived_bytes);
+        assert_eq!(lazy.leftover_bytes, eager.leftover_bytes);
+        assert_eq!(lazy.throughput.delivered(), eager.throughput.delivered());
+        assert_eq!(lazy.total_backlog, eager.total_backlog);
+        assert_eq!(lazy.max_port_backlog, eager.max_port_backlog);
+        assert_eq!(lazy.cumulative_delivered, eager.cumulative_delivered);
+        assert_eq!(lazy.fct.overall_summary(), eager.fct.overall_summary());
     }
 
     #[test]

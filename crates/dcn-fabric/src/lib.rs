@@ -47,12 +47,13 @@ mod fairshare;
 mod online;
 pub mod reference;
 mod repflow;
+mod settle;
 mod shard;
 mod topology;
 
 pub use builder::{FabricSim, FabricSimReady, FabricSimSched, FairShareSim, FairShareSimReady};
 pub use calendar::CompletionCalendar;
-pub use delta::{DeltaAllocator, DeltaOutcome, DeltaStats, SettledDrain};
+pub use delta::{DeltaAllocator, DeltaOutcome, DeltaStats, LiveViews, SettledDrain};
 pub use engine::{simulate, FabricError, FabricRun, SimConfig, SimConfigBuilder};
 pub use fairshare::{
     simulate_fair_share, simulate_fair_share_probed, ConstraintSpec, FairShareAllocator,
@@ -61,6 +62,10 @@ pub use online::{Accepted, FabricSnapshot, OfferError, OnlineFabric, DEFAULT_HIG
 pub use repflow::{
     plane_of, simulate_ecmp, simulate_ecmp_probed, simulate_repflow, simulate_repflow_probed,
     RepFlowCompletion, RepFlowRun, RepFlowStats,
+};
+pub use settle::{
+    completion_instant as settle_completion_instant, drain_target as settle_drain_target,
+    forced_eager as settle_forced_eager, SettleMode,
 };
 pub use shard::{
     shards_from_env, simulate_fair_share_sharded, simulate_sharded, CompletionRecord, ShardPlan,

@@ -67,10 +67,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::delta::{CoreBudgets, DeltaAllocator, DeltaStats};
+use crate::delta::{CoreBudgets, DeltaAllocator, DeltaStats, SettledDrain};
 use crate::engine::{
     validate_arrival, FabricError, FabricRun, FlowMeta, ScheduledEntry, SimConfig,
 };
+use crate::settle::SettleMode;
 use crate::shard::CompletionRecord;
 use crate::topology::Topology;
 use basrpt_core::{FlowState, FlowTable, Scheduler};
@@ -233,10 +234,20 @@ pub struct OnlineFabric<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: 
     probe: P,
     config: SimConfig,
     enforce_core: bool,
+    /// When scheduled accounts convert into table drains. Chosen once at
+    /// construction ([`SettleMode::choose`]) and not serialized — restore
+    /// re-derives it from the restored probe and scheduler, which is
+    /// unobservable because the flow table always mirrors the settled
+    /// accounts exactly, in either mode.
+    mode: SettleMode,
     table: FlowTable,
     meta: HashMap<dcn_types::FlowId, FlowMeta>,
     alloc: DeltaAllocator,
     budgets: CoreBudgets,
+    /// Reusable scratch for settled drains, so the hot per-event path
+    /// never allocates (the allocator cannot call back into `self` while
+    /// it is mutably borrowed, so drains are staged here first).
+    drain_buf: Vec<SettledDrain>,
     fct: FctRecorder,
     fct_by_size: SizeBucketRecorder,
     throughput: ThroughputMeter,
@@ -286,16 +297,19 @@ impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric
     pub fn with_probe(topo: &'t T, scheduler: &'s mut S, config: SimConfig, probe: P) -> Self {
         let edge_rate = topo.edge_rate();
         let enforce_core = config.enforce_core_capacity || !topo.is_full_bisection();
+        let mode = SettleMode::choose(probe.wants_flow_fidelity(), scheduler.supports_lazy_views());
         OnlineFabric {
             topo,
             scheduler,
             probe,
             config,
             enforce_core,
+            mode,
             table: FlowTable::new(),
             meta: HashMap::new(),
             alloc: DeltaAllocator::new(edge_rate),
             budgets: CoreBudgets::default(),
+            drain_buf: Vec::new(),
             fct: FctRecorder::new(),
             fct_by_size: SizeBucketRecorder::pfabric_buckets(),
             throughput: ThroughputMeter::new(),
@@ -403,6 +417,7 @@ impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric
             }
         }
         let alloc = DeltaAllocator::restore(edge_rate, snapshot.entries, snapshot.alloc_stats);
+        let mode = SettleMode::choose(probe.wants_flow_fidelity(), scheduler.supports_lazy_views());
 
         Ok(OnlineFabric {
             topo,
@@ -410,10 +425,12 @@ impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric
             probe,
             config: snapshot.config,
             enforce_core,
+            mode,
             table,
             meta,
             alloc,
             budgets: CoreBudgets::default(),
+            drain_buf: Vec::new(),
             fct: snapshot.fct,
             fct_by_size: snapshot.fct_by_size,
             throughput: snapshot.throughput,
@@ -448,6 +465,24 @@ impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric
     pub fn collect_completions(mut self, collect: bool) -> Self {
         self.collect_completions = collect;
         self
+    }
+
+    /// Pins this engine to eager settlement (builder style): every
+    /// scheduled account settles on every event, as the reference engines
+    /// do, regardless of the probe and scheduler. The output is
+    /// bit-identical to the lazy path — this is the programmatic twin of
+    /// the `BASRPT_SETTLE=eager` debugging knob, used by the differential
+    /// suites and benches to compare both paths in one process. Only the
+    /// eager direction can be forced; laziness is never forced onto a
+    /// scheduler or probe that needs ground-truth tables.
+    pub fn force_eager_settle(mut self) -> Self {
+        self.mode = SettleMode::Eager;
+        self
+    }
+
+    /// The settlement mode this engine runs under.
+    pub fn settle_mode(&self) -> SettleMode {
+        self.mode
     }
 
     /// Offers one arrival to the engine.
@@ -547,66 +582,81 @@ impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric
         self.step_while(|t| t < limit)
     }
 
+    /// Applies one settled drain to the flow table, meters, recorders,
+    /// and observers — the one body every settlement site (per-event,
+    /// observation-point, and eviction) routes through.
+    fn apply_drain(&mut self, t: SimTime, drain: SettledDrain) {
+        let outcome = self
+            .table
+            .drain(drain.flow, drain.amount)
+            .expect("scheduled flow is active");
+        debug_assert_eq!(outcome.drained, drain.amount, "exact drain cannot be short");
+        self.throughput.deliver(Bytes::new(outcome.drained));
+        let ev = DrainEvent {
+            time: t.as_secs(),
+            flow: drain.flow,
+            voq: drain.voq,
+            amount: outcome.drained,
+        };
+        self.sampler.on_drain(&ev);
+        self.probe.on_drain(&ev);
+        if let Some(done) = outcome.completed {
+            let info = self
+                .meta
+                .remove(&drain.flow)
+                .expect("active flow has metadata");
+            let flow_fct = t - info.arrival + self.config.base_latency;
+            self.fct.record(info.class, info.size, flow_fct);
+            self.fct_by_size.record(info.size, flow_fct);
+            let ev = CompletionEvent {
+                time: t.as_secs(),
+                flow: drain.flow,
+                voq: drain.voq,
+                size: info.size.as_u64(),
+                fct: flow_fct.as_secs(),
+            };
+            self.sampler.on_completion(&ev);
+            self.probe.on_completion(&ev);
+            if self.collect_completions {
+                self.completed.push(CompletionRecord {
+                    flow: drain.flow,
+                    time: t,
+                    voq: drain.voq,
+                    class: info.class,
+                    size: info.size,
+                    fct: flow_fct,
+                });
+            }
+            self.completions += 1;
+            debug_assert_eq!(drain.voq, done.voq());
+            debug_assert!(drain.completed);
+        }
+    }
+
     /// Runs one event instant `t`: settle completions, admit due
     /// arrivals, sample, reschedule — the batch loop body, verbatim.
     fn advance_to(&mut self, t: SimTime) -> Result<(), FabricError> {
         let elapsed = t - self.clock;
         let mut completed_any = false;
         if elapsed > SimTime::ZERO {
-            let table = &mut self.table;
-            let meta = &mut self.meta;
-            let fct = &mut self.fct;
-            let fct_by_size = &mut self.fct_by_size;
-            let throughput = &mut self.throughput;
-            let sampler = &mut self.sampler;
-            let probe = &mut self.probe;
-            let completed = &mut self.completed;
-            let completions = &mut self.completions;
-            let collect = self.collect_completions;
-            let base_latency = self.config.base_latency;
-            completed_any = self.alloc.settle(t, |drain| {
-                let outcome = table
-                    .drain(drain.flow, drain.amount)
-                    .expect("scheduled flow is active");
-                debug_assert_eq!(outcome.drained, drain.amount, "exact drain cannot be short");
-                throughput.deliver(Bytes::new(outcome.drained));
-                let ev = DrainEvent {
-                    time: t.as_secs(),
-                    flow: drain.flow,
-                    voq: drain.voq,
-                    amount: outcome.drained,
-                };
-                sampler.on_drain(&ev);
-                probe.on_drain(&ev);
-                if let Some(done) = outcome.completed {
-                    let info = meta.remove(&drain.flow).expect("active flow has metadata");
-                    let flow_fct = t - info.arrival + base_latency;
-                    fct.record(info.class, info.size, flow_fct);
-                    fct_by_size.record(info.size, flow_fct);
-                    let ev = CompletionEvent {
-                        time: t.as_secs(),
-                        flow: drain.flow,
-                        voq: drain.voq,
-                        size: info.size.as_u64(),
-                        fct: flow_fct.as_secs(),
-                    };
-                    sampler.on_completion(&ev);
-                    probe.on_completion(&ev);
-                    if collect {
-                        completed.push(CompletionRecord {
-                            flow: drain.flow,
-                            time: t,
-                            voq: drain.voq,
-                            class: info.class,
-                            size: info.size,
-                            fct: flow_fct,
-                        });
-                    }
-                    *completions += 1;
-                    debug_assert_eq!(drain.voq, done.voq());
-                    debug_assert!(drain.completed);
-                }
-            });
+            // Eager mode settles every account on every event. Lazy mode
+            // settles only the due completions — unless this instant is an
+            // observation point (a sample fires here, or the horizon is
+            // reached and the final table state is about to be read), where
+            // every account must be exact at once.
+            let observe_all =
+                !self.mode.is_lazy() || self.next_sample <= t || t >= self.config.horizon;
+            let mut drains = std::mem::take(&mut self.drain_buf);
+            drains.clear();
+            completed_any = if observe_all {
+                self.alloc.settle(t, |d| drains.push(d))
+            } else {
+                self.alloc.settle_due(t, |d| drains.push(d))
+            };
+            for drain in drains.drain(..) {
+                self.apply_drain(t, drain);
+            }
+            self.drain_buf = drains;
         }
         self.clock = t;
 
@@ -668,7 +718,15 @@ impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric
             let wants_timing =
                 self.sampler.wants_decision_timing() || self.probe.wants_decision_timing();
             let started = wants_timing.then(Instant::now);
-            let schedule = self.scheduler.schedule(&self.table);
+            // Lazy mode decides from settlement-adjusted VOQ views — the
+            // exact views an eagerly settled table would serve — so the
+            // stale table never leaks into a decision.
+            let schedule = if self.mode.is_lazy() {
+                self.scheduler
+                    .schedule_adjusted(&self.table, &self.alloc.live_views(self.clock))
+            } else {
+                self.scheduler.schedule(&self.table)
+            };
             let latency = started.map(|s| s.elapsed());
             let ev = DecisionEvent {
                 time: self.clock.as_secs(),
@@ -677,15 +735,28 @@ impl<'t, 's, T: Topology + ?Sized, S: Scheduler + ?Sized, P: Probe> OnlineFabric
             };
             self.sampler.on_decision(&ev);
             self.probe.on_decision(&ev);
+            let selected = if self.enforce_core {
+                self.budgets.filter(self.topo, schedule.iter()).to_vec()
+            } else {
+                schedule.into_pairs()
+            };
+            // Entrants' remaining bytes are exact in the stale table too:
+            // a flow entering the scheduled set was not transmitting, so
+            // it has no unsettled drains. Evicted flows settle their
+            // unsettled progress on the way out (staged, then applied —
+            // the allocator is mutably borrowed during `apply`).
             let table = &self.table;
             let remaining = |id| table.get(id).expect("scheduled flow is active").remaining();
-            if self.enforce_core {
-                let admitted = self.budgets.filter(self.topo, schedule.iter());
-                self.alloc
-                    .apply(self.clock, admitted.iter().copied(), remaining);
-            } else {
-                self.alloc.apply(self.clock, schedule.iter(), remaining);
+            let mut evicted = std::mem::take(&mut self.drain_buf);
+            evicted.clear();
+            self.alloc
+                .apply(self.clock, selected, remaining, |d| evicted.push(d));
+            let t = self.clock;
+            for drain in evicted.drain(..) {
+                debug_assert!(!drain.completed, "evictions never complete a flow");
+                self.apply_drain(t, drain);
             }
+            self.drain_buf = evicted;
             self.reschedules += 1;
         }
         Ok(())
@@ -969,6 +1040,58 @@ mod tests {
             want.total_backlog.values(),
             "restored series must continue bit-for-bit"
         );
+    }
+
+    #[test]
+    fn lazy_and_eager_settlement_agree_bitwise() {
+        let topo = small_topo();
+        // Contention on egress 1 forces SRPT preemptions (evictions with
+        // unsettled bytes), completions exercise due-settlement, and the
+        // default sample cadence exercises observation-point settlement.
+        let workload = vec![
+            arrival(0, 0.0, 0, 1, 2_000_000),
+            arrival(1, 0.0002, 2, 1, 300_000),
+            arrival(2, 0.0003, 4, 1, 100_000),
+            arrival(3, 0.0004, 0, 5, 400_000),
+            arrival(4, 0.0007, 6, 7, 1_250_000),
+            arrival(5, 0.0012, 2, 3, 50_000),
+        ];
+
+        let run = |force_eager: bool| {
+            let mut sched = Srpt::new();
+            let mut online = OnlineFabric::new(&topo, &mut sched, config(0.01));
+            if force_eager {
+                online = online.force_eager_settle();
+            }
+            for a in &workload {
+                online.offer(*a).unwrap();
+            }
+            (online.settle_mode(), online.finish().unwrap())
+        };
+
+        let (lazy_mode, lazy) = run(false);
+        let (eager_mode, eager) = run(true);
+        assert_eq!(eager_mode, SettleMode::Eager);
+        if !crate::settle::forced_eager() {
+            assert_eq!(lazy_mode, SettleMode::Lazy, "SRPT + NoProbe runs lazy");
+        }
+
+        assert_eq!(lazy.arrivals, eager.arrivals);
+        assert_eq!(lazy.completions, eager.completions);
+        assert_eq!(lazy.reschedules, eager.reschedules);
+        assert_eq!(lazy.throughput.delivered(), eager.throughput.delivered());
+        assert_eq!(lazy.leftover_bytes, eager.leftover_bytes);
+        assert_eq!(lazy.leftover_flows, eager.leftover_flows);
+        assert_eq!(lazy.total_backlog.values(), eager.total_backlog.values());
+        assert_eq!(
+            lazy.cumulative_delivered.values(),
+            eager.cumulative_delivered.values()
+        );
+        assert_eq!(
+            lazy.max_port_backlog.values(),
+            eager.max_port_backlog.values()
+        );
+        assert_eq!(lazy.fct.overall_summary(), eager.fct.overall_summary());
     }
 
     #[test]

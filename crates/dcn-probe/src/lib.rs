@@ -188,6 +188,27 @@ pub trait Probe {
         true
     }
 
+    /// Whether this probe needs the fabric's **per-flow** drain stream at
+    /// full fidelity even where the engine could settle lazily.
+    ///
+    /// The lazily settling fabric engine (`dcn-fabric`'s delta path)
+    /// defers each scheduled flow's drain write-back until the flow is
+    /// *observed* — its own rate change, completion, eviction, or a
+    /// sample instant — instead of settling every scheduled flow on every
+    /// event. Byte accounting is bit-exact at every observation point
+    /// either way, but between observation points the deferred engine
+    /// emits *fewer, coarser* [`DrainEvent`]s: one per settlement instead
+    /// of one per event per flow. If any attached probe returns `true`
+    /// here, the engine settles eagerly on every event, reproducing the
+    /// reference engines' exact drain stream.
+    ///
+    /// The default is `true` so custom probes observe the reference
+    /// stream without extra wiring; aggregate-only probes (and
+    /// [`NoProbe`]) override it to `false` to keep lazy runs fast.
+    fn wants_flow_fidelity(&self) -> bool {
+        true
+    }
+
     /// A flow arrived.
     fn on_arrival(&mut self, event: &ArrivalEvent) {
         let _ = event;
@@ -230,6 +251,10 @@ impl Probe for NoProbe {
     fn wants_slot_fidelity(&self) -> bool {
         false
     }
+
+    fn wants_flow_fidelity(&self) -> bool {
+        false
+    }
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {
@@ -239,6 +264,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
 
     fn wants_slot_fidelity(&self) -> bool {
         (**self).wants_slot_fidelity()
+    }
+
+    fn wants_flow_fidelity(&self) -> bool {
+        (**self).wants_flow_fidelity()
     }
     fn on_arrival(&mut self, event: &ArrivalEvent) {
         (**self).on_arrival(event);
@@ -291,6 +320,10 @@ impl<A: Probe, B: Probe> Probe for Fanout<A, B> {
     fn wants_slot_fidelity(&self) -> bool {
         self.0.wants_slot_fidelity() || self.1.wants_slot_fidelity()
     }
+
+    fn wants_flow_fidelity(&self) -> bool {
+        self.0.wants_flow_fidelity() || self.1.wants_flow_fidelity()
+    }
     fn on_arrival(&mut self, event: &ArrivalEvent) {
         self.0.on_arrival(event);
         self.1.on_arrival(event);
@@ -328,6 +361,7 @@ mod tests {
         let mut p = NoProbe;
         assert!(!p.wants_decision_timing());
         assert!(!p.wants_slot_fidelity());
+        assert!(!p.wants_flow_fidelity());
         p.on_arrival(&ArrivalEvent {
             time: 0.0,
             flow: FlowId::new(1),
@@ -344,6 +378,7 @@ mod tests {
             let mut fan = Fanout::new(&mut a, &mut b);
             assert!(fan.wants_decision_timing());
             assert!(fan.wants_slot_fidelity());
+            assert!(fan.wants_flow_fidelity());
             fan.on_arrival(&ArrivalEvent {
                 time: 1.0,
                 flow: FlowId::new(7),
@@ -356,6 +391,7 @@ mod tests {
         let fan = Fanout::new(NoProbe, NoProbe);
         assert!(!fan.wants_decision_timing());
         assert!(!fan.wants_slot_fidelity());
+        assert!(!fan.wants_flow_fidelity());
     }
 
     #[test]

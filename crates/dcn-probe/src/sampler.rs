@@ -62,6 +62,12 @@ impl Probe for BacklogSampler {
         false
     }
 
+    fn wants_flow_fidelity(&self) -> bool {
+        // Reads only sample-instant aggregates, which the lazy engine
+        // fully settles before emitting — per-event drains are not needed.
+        false
+    }
+
     fn on_sample(&mut self, event: &SampleEvent<'_>) {
         let t = event.time;
         self.series

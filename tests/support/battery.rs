@@ -8,17 +8,22 @@
 //!
 //! * **determinism** — two fresh instances on the same workload produce
 //!   bit-identical runs (series fingerprints, FCT bits, every counter);
-//! * **conservation** — bytes and flows are exactly conserved;
+//! * **conservation** — bytes and flows are exactly conserved, and a
+//!   third run with [`ConservationProbe`] attached re-checks the byte
+//!   identity at **every sample instant** (exercising the lazy
+//!   settlement path) while matching the unprobed run bit for bit;
 //! * **work conservation** — standing backlog always moves bytes;
 //! * **non-triviality** — the matrix point actually completed flows, so
 //!   a vacuous pass cannot hide behind an empty run.
 
-use super::conservation::{assert_bit_identical, assert_conserved, assert_repflow_accounting};
+use super::conservation::{
+    assert_bit_identical, assert_conserved, assert_repflow_accounting, ConservationProbe,
+};
 use super::oracles::assert_work_conserving;
 use basrpt::core::{RepFlow, Scheduler};
 use basrpt::fabric::{
-    simulate, simulate_fair_share, simulate_repflow, FabricRun, FatTree, KAryFatTree, SimConfig,
-    Topology,
+    simulate, simulate_fair_share, simulate_fair_share_probed, simulate_repflow,
+    simulate_repflow_probed, FabricRun, FabricSim, FatTree, KAryFatTree, SimConfig, Topology,
 };
 use basrpt::types::SimTime;
 use basrpt::workload::{FlowArrival, TrafficSpec};
@@ -32,6 +37,18 @@ pub trait DisciplineUnderTest {
 
     /// Runs one simulation of `arrivals` on `topo` with fresh state.
     fn run(&self, topo: &dyn Topology, arrivals: Vec<FlowArrival>, config: SimConfig) -> FabricRun;
+
+    /// Runs one simulation with the conservation probe attached, which
+    /// asserts `arrived == delivered + backlog` at every sample instant.
+    /// The probe reports no fidelity wants, so lazily settling engines
+    /// stay on their lazy path while being checked.
+    fn run_probed(
+        &self,
+        topo: &dyn Topology,
+        arrivals: Vec<FlowArrival>,
+        config: SimConfig,
+        probe: &mut ConservationProbe,
+    ) -> FabricRun;
 }
 
 /// Adapter for crossbar schedulers: any factory closure producing a fresh
@@ -53,6 +70,23 @@ impl<F: Fn(usize) -> Box<dyn Scheduler>> DisciplineUnderTest for ScheduledDiscip
         let mut sched = (self.make)(topo.num_hosts() as usize);
         simulate(topo, sched.as_mut(), arrivals, config).expect("valid simulation")
     }
+
+    fn run_probed(
+        &self,
+        topo: &dyn Topology,
+        arrivals: Vec<FlowArrival>,
+        config: SimConfig,
+        probe: &mut ConservationProbe,
+    ) -> FabricRun {
+        let mut sched = (self.make)(topo.num_hosts() as usize);
+        FabricSim::new(topo)
+            .config(config)
+            .scheduler(sched.as_mut())
+            .workload(arrivals)
+            .probe(probe)
+            .run()
+            .expect("valid simulation")
+    }
 }
 
 /// Adapter for the max-min fair-share engine (no crossbar scheduler —
@@ -66,6 +100,16 @@ impl DisciplineUnderTest for FairShareDiscipline {
 
     fn run(&self, topo: &dyn Topology, arrivals: Vec<FlowArrival>, config: SimConfig) -> FabricRun {
         simulate_fair_share(topo, arrivals, config).expect("valid simulation")
+    }
+
+    fn run_probed(
+        &self,
+        topo: &dyn Topology,
+        arrivals: Vec<FlowArrival>,
+        config: SimConfig,
+        probe: &mut ConservationProbe,
+    ) -> FabricRun {
+        simulate_fair_share_probed(topo, arrivals, config, probe).expect("valid simulation")
     }
 }
 
@@ -85,6 +129,27 @@ impl DisciplineUnderTest for RepFlowDiscipline {
     fn run(&self, topo: &dyn Topology, arrivals: Vec<FlowArrival>, config: SimConfig) -> FabricRun {
         let rep = simulate_repflow(topo, &mut RepFlow::new(self.threshold), arrivals, config)
             .expect("valid simulation");
+        assert_repflow_accounting(&rep, &self.label());
+        rep.run
+    }
+
+    fn run_probed(
+        &self,
+        topo: &dyn Topology,
+        arrivals: Vec<FlowArrival>,
+        config: SimConfig,
+        probe: &mut ConservationProbe,
+    ) -> FabricRun {
+        // Replica bytes are accounted in `stats`, not the primary meters,
+        // so the per-sample identity holds on the primary table.
+        let rep = simulate_repflow_probed(
+            topo,
+            &mut RepFlow::new(self.threshold),
+            arrivals,
+            config,
+            probe,
+        )
+        .expect("valid simulation");
         assert_repflow_accounting(&rep, &self.label());
         rep.run
     }
@@ -141,11 +206,19 @@ pub fn run_invariant_battery(d: &dyn DisciplineUnderTest) {
             let label = format!("{}/{topo_name}/seed{seed}", d.label());
             let arrivals = battery_arrivals(topo.as_ref(), 0.8, seed, config.horizon);
             let a = d.run(topo.as_ref(), arrivals.clone(), config);
-            let b = d.run(topo.as_ref(), arrivals, config);
+            let b = d.run(topo.as_ref(), arrivals.clone(), config);
             assert_bit_identical(&a, &b, &format!("{label}: determinism"));
             assert_conserved(&a, &label);
             assert_work_conserving(&a, &label);
             assert!(a.completions > 0, "{label}: vacuous matrix point");
+            // Third run with the conservation probe attached: bytes must
+            // balance exactly at every sample instant (the probe asserts
+            // per sample), and the passive observer must not perturb a
+            // single output bit.
+            let mut probe = ConservationProbe::new(&label);
+            let c = d.run_probed(topo.as_ref(), arrivals, config, &mut probe);
+            assert!(probe.samples > 0, "{label}: no sample instants checked");
+            assert_bit_identical(&a, &c, &format!("{label}: probed run diverged"));
         }
     }
 }

@@ -2,7 +2,66 @@
 
 use super::fingerprint::fingerprint;
 use basrpt::fabric::{FabricRun, RepFlowRun};
+use basrpt::probe::{ArrivalEvent, Probe, SampleEvent};
 use basrpt::types::FlowClass;
+
+/// A passive probe asserting the exact byte identity
+/// `arrived == delivered + backlog` at **every sample instant**, not just
+/// at the horizon — the mid-flight half of [`assert_conserved`].
+///
+/// It reports `wants_flow_fidelity() == false`, so attaching it keeps the
+/// lazily settling engines on their lazy path: what it checks is that
+/// settling accounts only at observation points still presents an exactly
+/// conserved table at each of those points.
+#[derive(Debug, Default)]
+pub struct ConservationProbe {
+    /// Context for assertion messages.
+    pub label: String,
+    /// Cumulative bytes arrived so far (samples see same-instant arrivals
+    /// both here and in the table, matching the engine's event order).
+    pub arrived: u64,
+    /// Number of sample instants checked, so callers can reject a vacuous
+    /// pass.
+    pub samples: usize,
+}
+
+impl ConservationProbe {
+    /// Creates a probe whose assertion messages carry `label`.
+    pub fn new(label: &str) -> Self {
+        ConservationProbe {
+            label: label.to_string(),
+            ..ConservationProbe::default()
+        }
+    }
+}
+
+impl Probe for ConservationProbe {
+    fn wants_decision_timing(&self) -> bool {
+        false
+    }
+
+    fn wants_flow_fidelity(&self) -> bool {
+        false
+    }
+
+    fn on_arrival(&mut self, event: &ArrivalEvent) {
+        self.arrived += event.size;
+    }
+
+    fn on_sample(&mut self, event: &SampleEvent<'_>) {
+        self.samples += 1;
+        let backlog = event.table.total_backlog();
+        let delivered = event.delivered as u64;
+        assert_eq!(
+            self.arrived,
+            delivered + backlog,
+            "{}: sample {} at t={}: arrived != delivered + backlog",
+            self.label,
+            self.samples,
+            event.time,
+        );
+    }
+}
 
 /// Asserts the exact conservation identities every engine must satisfy,
 /// whatever the discipline, topology, or load:
